@@ -1,0 +1,90 @@
+"""Shared fixtures for the figure/table reproduction harness.
+
+Expensive computations (full suite sweeps across SKUs) run once per
+session and are shared by every figure that needs them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.suite import DCPerfSuite
+from repro.hw.sku import get_sku
+from repro.uarch.projection import ProjectionEngine
+from repro.workloads.base import RunConfig
+from repro.workloads.profiles import BENCHMARK_PROFILES, PRODUCTION_PROFILES
+from repro.workloads.spec import spec2006_suite, spec2017_suite
+from repro.workloads.targets import BENCHMARK_TARGETS, PRODUCTION_TARGETS, SPEC2017_TARGETS
+
+X86_SKUS = ["SKU1", "SKU2", "SKU3", "SKU4"]
+
+#: Workload display order used throughout Figures 4-12 (prod, bench
+#: pairs in the paper's left-to-right order).
+FIDELITY_PAIRS = [
+    ("cache-prod", "taobench"),
+    ("ranking-prod", "feedsim"),
+    ("igweb-prod", "djangobench"),
+    ("fbweb-prod", "mediawiki"),
+    ("spark-prod", "sparkbench"),
+]
+
+
+@pytest.fixture(scope="session")
+def fidelity_states():
+    """SteadyState per workload at its published SKU2 utilization."""
+    engine = ProjectionEngine(get_sku("SKU2"))
+    states = {}
+    for name, profile in {**PRODUCTION_PROFILES, **BENCHMARK_PROFILES}.items():
+        targets = {**PRODUCTION_TARGETS, **BENCHMARK_TARGETS}[name]
+        states[name] = engine.solve(profile, cpu_util=targets.cpu_util)
+    from repro.workloads.profiles import SPEC2017_PROFILES
+
+    for name, profile in SPEC2017_PROFILES.items():
+        states[name] = engine.solve(profile, cpu_util=1.0)
+    return states
+
+
+@pytest.fixture(scope="session")
+def suite_scores():
+    """Figure 2 inputs: suite scores per SKU for all four suites."""
+    s17, s06 = spec2017_suite(), spec2006_suite()
+    data = {
+        "spec2017": [s17.score(sku) for sku in X86_SKUS],
+        "spec2006": [s06.score(sku) for sku in X86_SKUS],
+    }
+    bench = DCPerfSuite(measure_seconds=1.0)
+    prod = DCPerfSuite(variant=":prod", measure_seconds=1.0)
+    dcperf, production = [], []
+    for sku in X86_SKUS:
+        dcperf.append(bench.run(sku).overall_score)
+        production.append(prod.production_score(prod.run(sku)))
+    data["dcperf"] = dcperf
+    data["production"] = production
+    return data
+
+
+@pytest.fixture(scope="session")
+def quick_run():
+    """Run one benchmark with a short window; memoized per (name, sku)."""
+    from repro.workloads.registry import get_workload
+
+    cache = {}
+
+    def run(name: str, sku: str = "SKU2", **kwargs):
+        key = (name, sku, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            config = RunConfig(
+                sku_name=sku, warmup_seconds=0.3, measure_seconds=0.8, **kwargs
+            )
+            cache[key] = get_workload(name).run(config)
+        return cache[key]
+
+    return run
+
+
+def paper_vs_measured(label, rows):
+    """Uniform printing helper: list of (name, measured, paper)."""
+    print(f"\n=== {label} ===")
+    width = max(len(str(r[0])) for r in rows)
+    for name, measured, paper in rows:
+        print(f"  {str(name).ljust(width)}  measured {measured:>9.3f}   paper {paper:>9.3f}")

@@ -1,0 +1,71 @@
+"""Ablation: SMT on vs off.
+
+SMT is load-bearing in the model twice over — it boosts saturated
+throughput ~30% and makes per-thread speed *utilization-dependent*
+(the interference curve behind FeedSim's early SLO binding and the
+Figure 9 sub-saturation utilizations).  This ablation turns it off on
+SKU2 and measures both effects.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.report import format_table
+from repro.hw.sku import SKU_REGISTRY, get_sku
+from repro.workloads.base import RunConfig
+from repro.workloads.feedsim import FeedSim
+from repro.workloads.mediawiki import MediaWiki
+
+
+@pytest.fixture()
+def smt_off_sku(monkeypatch):
+    """Register a temporary SKU2 variant with SMT disabled."""
+    sku2 = get_sku("SKU2")
+    cpu = replace(sku2.cpu, smt=1)  # 26 physical cores, 26 threads
+    variant = replace(sku2, name="SKU2-noSMT", cpu=cpu)
+    monkeypatch.setitem(SKU_REGISTRY, "SKU2-noSMT", variant)
+    return variant
+
+
+def test_ablation_smt(benchmark, smt_off_sku):
+    def compute():
+        quick = lambda sku: RunConfig(
+            sku_name=sku, warmup_seconds=0.3, measure_seconds=0.8
+        )
+        return {
+            "mediawiki_smt": MediaWiki().run(quick("SKU2")),
+            "mediawiki_nosmt": MediaWiki().run(quick("SKU2-noSMT")),
+            "feedsim_smt": FeedSim().run(quick("SKU2")),
+            "feedsim_nosmt": FeedSim().run(quick("SKU2-noSMT")),
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n=== Ablation: SMT on vs off (SKU2, 26 physical cores) ===")
+    print(
+        format_table(
+            ["run", "throughput", "cpu util"],
+            [
+                [name, f"{r.throughput_rps:,.0f}", f"{r.cpu_util:.0%}"]
+                for name, r in results.items()
+            ],
+        )
+    )
+
+    # Saturated throughput: SMT buys roughly its calibrated ~30% boost.
+    gain = (
+        results["mediawiki_smt"].throughput_rps
+        / results["mediawiki_nosmt"].throughput_rps
+    )
+    print(f"\nmediawiki SMT throughput gain: {gain - 1:+.0%} "
+          "(calibrated boost: +30%)")
+    assert 1.10 < gain < 1.55
+
+    # SLO-bound FeedSim: without SMT there is no interference curve, so
+    # per-thread speed is flat and the operating point shifts.
+    feed_gain = (
+        results["feedsim_smt"].throughput_rps
+        / results["feedsim_nosmt"].throughput_rps
+    )
+    print(f"feedsim SMT throughput gain:   {feed_gain - 1:+.0%}")
+    assert 0.8 < feed_gain < 2.0

@@ -1,0 +1,74 @@
+"""Figure 12: CPU cycles in application logic vs datacenter tax.
+
+Regenerates the hot-function cycle breakdown for the four prod/bench
+pairs the figure shows, using the cycle accountant over each
+workload's measured cycle volume.
+
+Shape criteria: every datacenter workload pays a double-digit tax
+share; TaoBench spends far less on compression + serialization than
+the cache production workload it models (the gap the paper flags as
+future work); Spark pairs are application-dominated.
+"""
+
+from repro.core.report import format_table
+from repro.dctax.accounting import CycleAccountant
+from repro.workloads.profiles import BENCHMARK_PROFILES, PRODUCTION_PROFILES
+
+PAIRS = [
+    ("cache-prod", "taobench"),
+    ("ranking-prod", "feedsim"),
+    ("fbweb-prod", "mediawiki"),
+    ("spark-prod", "sparkbench"),
+]
+
+
+def build_breakdowns():
+    out = {}
+    for prod, bench in PAIRS:
+        for name, profile in (
+            (prod, PRODUCTION_PROFILES[prod]),
+            (bench, BENCHMARK_PROFILES[bench]),
+        ):
+            accountant = CycleAccountant()
+            accountant.charge_profile(profile.tax_profile, 100.0)
+            out[name] = accountant.breakdown()
+    return out
+
+
+def test_fig12_tax_breakdown(benchmark):
+    breakdowns = benchmark.pedantic(build_breakdowns, rounds=1, iterations=1)
+    print("\n=== Figure 12: cycles in app logic vs datacenter tax ===")
+    print(
+        format_table(
+            ["workload", "app", "tax", "rpc", "compress", "serialize", "kvstore"],
+            [
+                [
+                    name, f"{b.app_fraction:.0%}", f"{b.tax_fraction:.0%}",
+                    f"{b.share('rpc'):.0%}", f"{b.share('compression'):.0%}",
+                    f"{b.share('serialization'):.0%}", f"{b.share('kvstore'):.0%}",
+                ]
+                for name, b in breakdowns.items()
+            ],
+        )
+    )
+
+    for name, b in breakdowns.items():
+        assert b.tax_fraction > 0.10, name
+        assert abs(b.app_fraction + b.tax_fraction - 1.0) < 1e-9
+
+    # TaoBench's flagged gap vs Cache (prod).
+    tao, cache = breakdowns["taobench"], breakdowns["cache-prod"]
+    assert tao.share("compression") < 0.5 * cache.share("compression")
+    assert tao.share("serialization") < 0.5 * cache.share("serialization")
+
+    # Caching is tax-dominated; Spark is application-dominated.
+    assert cache.tax_fraction > 0.70
+    assert breakdowns["spark-prod"].app_fraction > 0.50
+    assert breakdowns["sparkbench"].app_fraction > 0.50
+
+    # Benchmarks reflect their production counterparts' tax totals.
+    for prod, bench in PAIRS:
+        gap = abs(
+            breakdowns[bench].tax_fraction - breakdowns[prod].tax_fraction
+        )
+        assert gap < 0.12, (prod, bench)

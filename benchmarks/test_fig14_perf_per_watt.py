@@ -1,0 +1,79 @@
+"""Figure 14: Perf/Watt across SKU4 and the two ARM candidates.
+
+The decision-relevant shape criteria (Section 5.1):
+* SKU-A beats SKU4 on suite-level Perf/Watt (the paper: +25%), with
+  SparkBench its largest single win;
+* SKU-B loses badly to SKU4 overall (paper: -57%), with the web
+  benchmarks (DjangoBench, MediaWiki) its worst losses — the L1I-driven
+  collapse that decided the SKU selection;
+* SPEC 2017 sees SKU-A and SKU-B as comparable, i.e. SPEC alone would
+  not have rejected SKU-B.
+"""
+
+import math
+
+from repro.core.report import format_table
+from repro.core.suite import DCPerfSuite
+from repro.workloads.spec import spec2017_suite
+from repro.workloads.targets import FIG14_PERF_PER_WATT
+
+BENCH_ORDER = ["taobench", "feedsim", "djangobench", "mediawiki", "sparkbench"]
+
+
+def compute_fig14():
+    suite = DCPerfSuite(measure_seconds=0.8)
+    base = suite.run("SKU1").perf_per_watt
+    s17 = spec2017_suite()
+    spec_base = s17.score("SKU1") / s17.average_power_watts("SKU1")
+    out = {}
+    for sku in ("SKU4", "SKU-A", "SKU-B"):
+        report = suite.run(sku)
+        norm = {k: report.perf_per_watt[k] / base[k] for k in base}
+        values = [norm[b] for b in BENCH_ORDER]
+        geo = math.exp(sum(math.log(v) for v in values) / len(values))
+        spec_ppw = (
+            s17.score(sku) / s17.average_power_watts(sku)
+        ) / spec_base
+        out[sku] = {**norm, "dcperf": geo, "spec2017": spec_ppw}
+    return out
+
+
+def test_fig14_perf_per_watt(benchmark):
+    data = benchmark.pedantic(compute_fig14, rounds=1, iterations=1)
+    print("\n=== Figure 14: Perf/Watt normalized to SKU1 ===")
+    columns = BENCH_ORDER + ["dcperf", "spec2017"]
+    print(
+        format_table(
+            ["sku"] + columns,
+            [[sku] + [f"{data[sku][c]:.2f}" for c in columns] for sku in data],
+        )
+    )
+    print("\n--- paper values ---")
+    print(
+        format_table(
+            ["sku"] + columns,
+            [
+                [sku] + [f"{FIG14_PERF_PER_WATT[sku][c]:.1f}" for c in columns]
+                for sku in FIG14_PERF_PER_WATT
+            ],
+        )
+    )
+
+    # SKU-A wins the suite on Perf/Watt.
+    assert data["SKU-A"]["dcperf"] > 1.1 * data["SKU4"]["dcperf"]
+    # SparkBench is SKU-A's largest relative gain over SKU4.
+    gains = {
+        b: data["SKU-A"][b] / data["SKU4"][b] for b in BENCH_ORDER
+    }
+    assert gains["sparkbench"] == max(gains.values())
+    # SKU-B loses the suite decisively.
+    assert data["SKU-B"]["dcperf"] < 0.75 * data["SKU4"]["dcperf"]
+    # ... with web its worst losses.
+    losses = {b: data["SKU-B"][b] / data["SKU4"][b] for b in BENCH_ORDER}
+    worst_two = sorted(losses, key=losses.get)[:2]
+    assert set(worst_two) <= {"djangobench", "mediawiki", "feedsim"}
+    # SPEC would NOT have rejected SKU-B: it rates the two ARM SKUs
+    # comparably (within ~40%) and rates SKU-B at or above SKU4.
+    spec_a, spec_b = data["SKU-A"]["spec2017"], data["SKU-B"]["spec2017"]
+    assert 0.6 < spec_b / spec_a < 1.7
+    assert spec_b > 0.9 * data["SKU4"]["spec2017"]

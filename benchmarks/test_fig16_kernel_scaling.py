@@ -1,0 +1,66 @@
+"""Figure 16: TaoBench vs Linux kernel version and core count.
+
+Section 5.3: TaoBench on a 384-logical-core SKU ran only 1.62x its
+176-core throughput on kernel 6.4 (expected >= 2.2x), traced to lock
+contention on the scheduler's ``tg->load_avg`` counter; kernel 6.9's
+rate-limit patch recovered it to 2.49x.
+
+Shape criteria: kernels within ~5% of each other at 176 cores; a
+30%+ gap at 384 cores; 6.9 restores super-core-ratio scaling.
+"""
+
+from repro.core.report import format_table
+from repro.workloads.base import RunConfig
+from repro.workloads.taobench import TaoBench
+from repro.workloads.targets import FIG16_KERNEL_SCALING
+
+
+def run_matrix():
+    results = {}
+    for sku in ("SKU4", "SKU-384"):
+        for kernel in ("6.4", "6.9"):
+            config = RunConfig(
+                sku_name=sku,
+                kernel_version=kernel,
+                warmup_seconds=0.3,
+                measure_seconds=1.0,
+                load_scale=1.5,  # saturate: Figure 16 reports peak RPS
+            )
+            results[(sku, kernel)] = TaoBench().run(config).throughput_rps
+    return results
+
+
+def test_fig16_kernel_scalability(benchmark):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    base = results[("SKU4", "6.4")]
+    relative = {key: value / base * 100.0 for key, value in results.items()}
+    print("\n=== Figure 16: TaoBench relative performance (%) ===")
+    print(
+        format_table(
+            ["sku", "kernel", "relative", "paper"],
+            [
+                [
+                    sku, kernel, f"{relative[(sku, kernel)]:.0f}%",
+                    f"{FIG16_KERNEL_SCALING[kernel][sku]:.0f}%",
+                ]
+                for sku in ("SKU4", "SKU-384")
+                for kernel in ("6.4", "6.9")
+            ],
+        )
+    )
+
+    # 176 cores: the kernels are nearly equivalent (paper: 100 vs 103).
+    gap_176 = relative[("SKU4", "6.9")] / relative[("SKU4", "6.4")]
+    assert 0.97 < gap_176 < 1.10
+
+    # 384 cores: kernel 6.4 leaves a third of the machine on the table.
+    r64 = relative[("SKU-384", "6.4")]
+    r69 = relative[("SKU-384", "6.9")]
+    assert r69 > 1.35 * r64
+    # Paper anchors within tolerance: 162% and 249%.
+    assert abs(r64 - 162) < 25
+    assert abs(r69 - 249) < 30
+
+    # Kernel 6.9 restores better-than-core-ratio scaling (2.18x cores).
+    scaling_69 = r69 / relative[("SKU4", "6.9")]
+    assert scaling_69 > 2.18

@@ -1,0 +1,77 @@
+"""Table 1: workload categories and their structural characteristics.
+
+Regenerates the table's rows (metric, request-time scale, peak CPU
+utilization, thread-to-core ratio, per-server RPS, RPC fanout,
+instructions per request) from the workload models and checks each is
+within the published order of magnitude.
+"""
+
+import math
+
+from repro.core.report import format_table
+from repro.workloads.profiles import BENCHMARK_PROFILES
+from repro.workloads.registry import get_workload
+from repro.workloads.targets import TABLE1_STRUCTURE
+
+
+def build_table1(quick_run):
+    rows = []
+    for category, spec in TABLE1_STRUCTURE.items():
+        for bench in spec["benchmarks"]:
+            chars = BENCHMARK_PROFILES[bench]
+            result = quick_run(bench)
+            rows.append(
+                {
+                    "category": category,
+                    "benchmark": bench,
+                    "metric": get_workload(bench).metric_name,
+                    "peak_cpu_util": result.cpu_util,
+                    "thread_core_ratio": chars.thread_core_ratio,
+                    "per_server_rps": result.throughput_rps,
+                    "rpc_fanout": chars.rpc_fanout,
+                    "instr_per_request": chars.instructions_per_request,
+                }
+            )
+    return rows
+
+
+def same_order_of_magnitude(value, reference, slack=1.2):
+    if reference == 0:
+        return value == 0
+    return abs(math.log10(value / reference)) <= slack
+
+
+def test_table1_workload_structure(benchmark, quick_run):
+    rows = benchmark.pedantic(
+        lambda: build_table1(quick_run), rounds=1, iterations=1
+    )
+    print("\n=== Table 1: workloads modeled in DCPerf ===")
+    print(
+        format_table(
+            ["category", "benchmark", "util", "t/c", "rps", "fanout", "instr/req"],
+            [
+                [
+                    r["category"], r["benchmark"], f"{r['peak_cpu_util']:.0%}",
+                    r["thread_core_ratio"], f"{r['per_server_rps']:.3g}",
+                    r["rpc_fanout"], f"{r['instr_per_request']:.1g}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+    by_bench = {r["benchmark"]: r for r in rows}
+    # Caching: RPS N(1M), requests of N(1K)-N(10K) instructions.
+    assert same_order_of_magnitude(
+        by_bench["taobench"]["per_server_rps"], 1_000_000
+    )
+    # Web: RPS N(1K)-ish; ranking N(100); media/bigdata task-scale.
+    assert same_order_of_magnitude(by_bench["mediawiki"]["per_server_rps"], 1_000)
+    assert same_order_of_magnitude(by_bench["feedsim"]["per_server_rps"], 100)
+    # Peak utilization bands per category.
+    assert by_bench["mediawiki"]["peak_cpu_util"] > 0.90
+    assert by_bench["videotranscode"]["peak_cpu_util"] > 0.93
+    assert 0.4 < by_bench["feedsim"]["peak_cpu_util"] < 0.9
+    # Fanout: media has none; web has the largest.
+    assert by_bench["videotranscode"]["rpc_fanout"] == 0
+    assert by_bench["mediawiki"]["rpc_fanout"] > by_bench["taobench"]["rpc_fanout"]

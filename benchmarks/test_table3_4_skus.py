@@ -1,0 +1,39 @@
+"""Tables 3 and 4: server SKU specifications.
+
+Regenerates the spec tables from the SKU registry and checks the
+published values are reproduced verbatim.
+"""
+
+from repro.core.report import format_table
+from repro.hw.sku import get_sku, list_skus
+
+
+def build_spec_tables():
+    return [sku.spec_row() for sku in list_skus()]
+
+
+def test_table3_and_4_sku_specs(benchmark):
+    rows = benchmark.pedantic(build_spec_tables, rounds=1, iterations=1)
+    print("\n=== Tables 3 & 4: server SKU specifications ===")
+    print(
+        format_table(
+            ["sku", "cores", "ram", "net", "storage", "year", "l1i", "power"],
+            [
+                [
+                    r["sku"], r["logical_cores"], r["ram_gb"], r["network_gbps"],
+                    r["storage"], r["year"], r["l1i_kb"], r["server_power_w"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    # Table 3 published values.
+    assert get_sku("SKU1").logical_cores == 36
+    assert get_sku("SKU4").logical_cores == 176
+    assert get_sku("SKU4").network_gbps == 50
+    # Table 4 published values.
+    assert get_sku("SKU-A").designed_power_w == 175
+    assert get_sku("SKU-B").designed_power_w == 275
+    a = get_sku("SKU-A").cpu.caches.l1i.size_kb
+    b = get_sku("SKU-B").cpu.caches.l1i.size_kb
+    assert a == 4 * b

@@ -1,0 +1,60 @@
+"""Datacenter-tax microbenchmarks (Section 3.2).
+
+These are the only benches here measuring real wall-clock execution:
+each runs the actual tax implementation (Thrift codec, compressors,
+hashes, TLS records, serialization, memory ops) under pytest-benchmark.
+"""
+
+import pytest
+
+from repro.dctax.microbench import (
+    bench_compression,
+    bench_crypto_digest,
+    bench_hashing,
+    bench_memory_copy,
+    bench_rpc_roundtrip,
+    bench_serialization,
+    bench_tls_record,
+)
+
+
+def test_tax_rpc_roundtrip(benchmark):
+    result = benchmark(lambda: bench_rpc_roundtrip(iterations=100))
+    assert result.operations == 100
+
+
+def test_tax_compression_zlib(benchmark):
+    result = benchmark(lambda: bench_compression(iterations=5, codec_name="zlib"))
+    assert result.ops_per_second > 0
+
+
+def test_tax_compression_snappy_like(benchmark):
+    result = benchmark(
+        lambda: bench_compression(iterations=2, codec_name="snappy-like")
+    )
+    assert result.ops_per_second > 0
+
+
+def test_tax_hashing(benchmark):
+    result = benchmark(lambda: bench_hashing(iterations=200))
+    assert result.operations == 200
+
+
+def test_tax_crypto_digest(benchmark):
+    result = benchmark(lambda: bench_crypto_digest(iterations=50))
+    assert result.ops_per_second > 0
+
+
+def test_tax_tls_record(benchmark):
+    result = benchmark(lambda: bench_tls_record(iterations=10))
+    assert result.ops_per_second > 0
+
+
+def test_tax_serialization(benchmark):
+    result = benchmark(lambda: bench_serialization(iterations=100))
+    assert result.operations == 100
+
+
+def test_tax_memory_copy(benchmark):
+    result = benchmark(lambda: bench_memory_copy(iterations=10))
+    assert result.ops_per_second > 0

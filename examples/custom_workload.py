@@ -1,0 +1,96 @@
+"""Calibrate DCPerf to *your* workload (the Section 6 generalization).
+
+"If other organizations wish to have DCPerf represent their own
+workload characteristics, it is possible with some effort to change
+benchmark configurations to match their workloads."
+
+This script shows that workflow: take a PMU profile of a hypothetical
+search-engine frontend (the kind of workload the paper hopes industry
+peers will contribute), invert it into a characteristics vector with
+the calibrator, verify the round trip, and project the workload onto
+every modeled SKU to pick hardware for it.
+
+Run:
+    python examples/custom_workload.py
+"""
+
+from repro.core.report import format_table
+from repro.hw.sku import get_sku, list_skus
+from repro.uarch.calibrate import (
+    FidelityTargets,
+    StructuralParams,
+    calibrate,
+    verify_roundtrip,
+)
+from repro.uarch.projection import ProjectionEngine
+
+
+def main() -> None:
+    # Step 1: your workload's measured profile on the reference SKU2
+    # (one column of the paper's Figures 4-11, from your own PMU data).
+    targets = FidelityTargets(
+        name="search-frontend",
+        category="web",
+        frontend=0.34, bad_speculation=0.08, backend=0.26, retiring=0.32,
+        l1i_mpki=27.0,
+        membw_gbps=24.0,
+        cpu_util=0.88,
+        sys_util=0.09,
+        freq_ghz=1.95,
+        ipc=1.3,
+    )
+    # Step 2: structure the PMU cannot see — from your deployment.
+    structure = StructuralParams(
+        instructions_per_request=3.0e8,
+        thread_core_ratio=50,
+        rpc_fanout=40,
+        switches_per_kinstr=0.03,
+        network_bytes_per_request=30_000,
+        tax_shares={
+            "app:query_serving": 0.45,
+            "app:index_lookup": 0.15,
+            "rpc": 0.14,
+            "compression": 0.08,
+            "serialization": 0.08,
+            "memory": 0.06,
+            "others": 0.04,
+        },
+    )
+
+    # Step 3: invert the model and prove the calibration is faithful.
+    chars = calibrate(targets, structure)
+    errors = verify_roundtrip(targets, chars)
+    print("calibrated characteristics for", chars.name)
+    print(f"  code footprint: {chars.code_footprint_kb:.0f} KB")
+    print(f"  data reuse scale: {chars.data_reuse_kb:.2f} KB "
+          f"(beta {chars.locality_beta})")
+    print(f"  kernel share: {chars.kernel_frac:.0%}, "
+          f"tax share: {chars.tax_profile.tax_fraction:.0%}")
+    print("  round-trip errors:",
+          ", ".join(f"{k}={v:.3f}" for k, v in errors.items()))
+
+    # Step 4: project the workload across every SKU you could buy.
+    rows = []
+    for sku in list_skus():
+        state = ProjectionEngine(sku).solve(chars, cpu_util=targets.cpu_util)
+        rows.append([
+            sku.name,
+            f"{state.requests_per_second:,.0f}",
+            f"{state.ipc_per_physical_core:.2f}",
+            f"{state.power_watts:.0f}",
+            f"{state.requests_per_second / state.power_watts:,.1f}",
+        ])
+    print("\n=== search-frontend projected across the SKU catalog ===")
+    print(format_table(["sku", "req/s", "ipc", "watts", "req/s per W"], rows))
+
+    best = max(
+        list_skus(),
+        key=lambda sku: (
+            lambda s: s.requests_per_second / s.power_watts
+        )(ProjectionEngine(sku).solve(chars, cpu_util=targets.cpu_util)),
+    )
+    print(f"\nmost power-efficient SKU for this workload: {best.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: install and run one DCPerf benchmark.
+
+The three-step workflow from Section 2.1 — clone, build (install), run
+— against the simulated SKU2 server, with the full monitoring hook set
+attached.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core.benchmark import Benchmark
+from repro.core.report import format_table
+from repro.workloads.base import RunConfig
+
+
+def main() -> None:
+    # Step 1+2: pick a benchmark and "install" it (resolves the
+    # calibrated profile, prepares datasets).
+    bench = Benchmark.by_name("taobench")
+    description = bench.install()
+    print("installed:", description["name"])
+    print("  category:", description["category"])
+    print("  metric:  ", description["metric"])
+    print(f"  datacenter tax share: {description['tax_fraction']:.0%}")
+
+    # Step 3: run on the most common fleet SKU, kernel 6.9.
+    config = RunConfig(sku_name="SKU2", kernel_version="6.9", measure_seconds=2.0)
+    report = bench.run(config)
+
+    print(f"\n{report.metric_name}: {report.metric_value:,.0f}")
+    print(f"cache hit rate: {report.result.extra['cache_hit_rate']:.1%}")
+    print(f"latency p95 (batched-sim seconds): "
+          f"{report.result.latency['p95']:.4f}")
+
+    print("\nhook sections:")
+    rows = []
+    cpu = report.hook_sections["cpu_util"]
+    rows.append(["cpu_util", f"{cpu['total_pct']:.0f}% total, "
+                             f"{cpu['sys_pct']:.0f}% kernel"])
+    uarch = report.hook_sections["uarch"]
+    rows.append(["uarch", f"IPC {uarch['ipc_per_physical_core']:.2f}, "
+                          f"L1I {uarch['l1i_mpki']:.0f} MPKI, "
+                          f"{uarch['membw_gbps']:.0f} GB/s"])
+    topdown = report.hook_sections["topdown"]
+    rows.append(["topdown", ", ".join(f"{k} {v:.0f}%" for k, v in topdown.items())])
+    power = report.hook_sections["power"]
+    rows.append(["power", f"{power['watts']:.0f} W of "
+                          f"{power['designed_watts']:.0f} W designed"])
+    freq = report.hook_sections["cpufreq"]
+    rows.append(["cpufreq", f"{freq['effective_ghz']:.2f} GHz effective"])
+    print(format_table(["hook", "summary"], rows))
+
+
+if __name__ == "__main__":
+    main()

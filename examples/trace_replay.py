@@ -1,0 +1,88 @@
+"""Replay production-shaped traffic through a workload (Section 2.2).
+
+"DCPerf generates traffic patterns or uses datasets that represent
+production systems" — this walkthrough synthesizes a day of web traffic
+(diurnal envelope, heavy-tailed response sizes, a production endpoint
+mix), compresses it 2000x in simulated time, replays it against the
+MediaWiki serving stack, and plots the resulting utilization curve.
+
+Run:
+    python examples/trace_replay.py
+"""
+
+from repro.analysis.tables import ascii_bar_chart
+from repro.loadgen.recorder import LatencyRecorder
+from repro.loadgen.trace import TraceReplayGenerator, synthesize_production_trace
+from repro.workloads.base import RunConfig
+from repro.workloads.mediawiki import MediaWiki
+from repro.workloads.runner import BenchmarkHarness
+
+#: One simulated "day" of traffic, compressed 2000x (86400s -> 43s).
+TIME_SCALE = 1.0 / 2000.0
+BASE_RATE_RPS = 250.0
+
+
+def main() -> None:
+    print("synthesizing a day of production-shaped traffic...")
+    trace = synthesize_production_trace(
+        num_requests=12_000,
+        base_rate_rps=BASE_RATE_RPS * TIME_SCALE,  # rate in trace time
+        mean_request_bytes=1_800,
+        mean_response_bytes=80_000,
+        diurnal_amplitude=0.45,
+        endpoints={"page": 0.70, "talk": 0.12, "login": 0.10, "edit": 0.08},
+        seed=11,
+    )
+    summary = trace.size_summary()
+    print(f"  {len(trace):,} requests over {trace.duration_s:,.0f}s of trace time")
+    print(f"  response sizes: mean {summary['response_mean']:,.0f} B, "
+          f"p99 {summary['response_p99']:,.0f} B")
+    print(f"  endpoint mix: "
+          + ", ".join(f"{k} {v:.0%}" for k, v in trace.endpoint_mix().items()))
+
+    # Build the MediaWiki serving stack and feed the trace into its
+    # handler instead of the Poisson generator.
+    workload = MediaWiki()
+    config = RunConfig(sku_name="SKU2", warmup_seconds=0.0, measure_seconds=1.0)
+    harness = BenchmarkHarness(config, workload.characteristics)
+    handler = workload._build_handler(harness)
+
+    recorder = LatencyRecorder()
+    # Normalize the whole trace to ~43 simulated seconds (a 2000x
+    # compression of the day it represents).
+    replay = TraceReplayGenerator(
+        harness.env, trace, handler, recorder,
+        time_scale=43.2 / trace.duration_s,
+        loop=False,
+    )
+    # Sample utilization in coarse windows across the replayed day.
+    cores = config.sku.cpu.logical_cores
+    windows = []
+
+    def sampler():
+        period = 4.0
+        previous = harness.scheduler.stats.busy_seconds
+        while True:
+            yield harness.env.timeout(period)
+            busy = harness.scheduler.stats.busy_seconds
+            windows.append(min(1.0, (busy - previous) / (period * cores)))
+            previous = busy
+
+    harness.env.process(sampler())
+    replay.start()
+    harness.env.run(until=44.0)
+
+    print(f"\nreplayed {replay.completed:,} requests; "
+          f"p95 latency {recorder.percentile(95) * 1000:.0f} ms (sim)")
+    print("\nCPU utilization across the replayed day "
+          "(each bar = ~2.2 trace-hours):")
+    chart = {
+        f"h{int(i * 2.2):02d}": util for i, util in enumerate(windows[:10])
+    }
+    print(ascii_bar_chart(chart, width=30, value_format="{:.0%}"))
+    print("\nthe diurnal envelope survives the 2000x compression — the "
+          "utilization curve follows the trace, not a Poisson flat line.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Vendor guidance: which microarchitecture knob to turn next (§5.2).
+
+The paper's vendor used DCPerf to pick and validate ~10 optimizations
+worth 38% on the Facebook web application.  This walkthrough automates
+the first step of that loop: perturb each hardware knob by 25%, project
+every DCPerf workload's response, and print the to-do list — then
+deep-dive the cache-replacement knob the case study actually shipped.
+
+Run:
+    python examples/vendor_guidance.py
+"""
+
+from dataclasses import replace
+
+from repro.core.report import format_table
+from repro.hw.sku import get_sku
+from repro.uarch.projection import ProjectionEngine
+from repro.uarch.sensitivity import (
+    STANDARD_KNOBS,
+    sensitivity_sweep,
+    top_knob_per_workload,
+)
+from repro.workloads.profiles import BENCHMARK_PROFILES
+from repro.workloads.targets import BENCHMARK_TARGETS
+
+
+def main() -> None:
+    sku = get_sku("SKU2")
+    workloads = {name: BENCHMARK_PROFILES[name] for name in BENCHMARK_PROFILES}
+    utils = {name: BENCHMARK_TARGETS[name].cpu_util for name in workloads}
+
+    print("sweeping every knob x workload (25% improvement each)...")
+    results = sensitivity_sweep(sku, workloads, utils, factor=1.25)
+
+    knob_names = list(STANDARD_KNOBS)
+    by_pair = {(r.workload, r.knob): r.relative_gain for r in results}
+    print("\n=== projected gain from a 25% improvement (%) ===")
+    print(format_table(
+        ["workload"] + knob_names,
+        [
+            [name] + [f"{by_pair[(name, knob)] * 100:+.1f}" for knob in knob_names]
+            for name in workloads
+        ],
+    ))
+
+    # Frequency trivially wins every row (it is a global speedup), so
+    # the actionable list excludes it — post-silicon work is microcode
+    # and policy, not clocks.
+    actionable = [r for r in results if r.knob != "frequency"]
+    print("\nvendor to-do list (top non-frequency knob per workload):")
+    for name, knob in top_knob_per_workload(actionable).items():
+        print(f"  {name:<16} -> {knob}")
+
+    # Deep-dive the knob the Section 5.2 vendor actually shipped.
+    print("\n=== deep dive: cache-replacement microcode (Figure 15) ===")
+    improved_caches = sku.cpu.caches.with_replacement_quality(1.56)
+    improved = replace(sku, cpu=replace(sku.cpu, caches=improved_caches))
+    chars = BENCHMARK_PROFILES["mediawiki"]
+    before = ProjectionEngine(sku).solve(chars, cpu_util=0.95)
+    after = ProjectionEngine(improved).solve(chars, cpu_util=0.95)
+    print(f"  L1I misses: {after.misses.l1i_mpki / before.misses.l1i_mpki - 1:+.0%}")
+    print(f"  L2 misses:  {after.misses.l2_mpki / before.misses.l2_mpki - 1:+.0%}")
+    print(f"  IPC:        {after.ipc_per_physical_core / before.ipc_per_physical_core - 1:+.1%}")
+    print(f"  app perf:   {after.instructions_per_second / before.instructions_per_second - 1:+.1%}")
+    print("\nthe case-study lesson: a 36% miss reduction is worth only a few\n"
+          "percent end to end — and DCPerf predicts it, SPEC cannot see it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — a DCPerf reproduction on a simulated datacenter substrate.
+
+Reproduces "DCPerf: An Open-Source, Battle-Tested Performance Benchmark
+Suite for Datacenter Workloads" (Su et al., ISCA 2025) as a calibrated
+simulation.  The most common entry points::
+
+    from repro.core.benchmark import Benchmark
+    from repro.core.suite import DCPerfSuite
+    from repro.workloads.base import RunConfig
+
+    report = Benchmark.by_name("taobench").run(RunConfig(sku_name="SKU2"))
+    suite = DCPerfSuite().run("SKU4")
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and substitutions, and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,28 @@
+"""Post-run analysis: fidelity comparison, projection error, Perf/Watt."""
+
+from repro.analysis.fidelity import (
+    FidelityComparison,
+    compare_profiles,
+    projection_errors,
+)
+from repro.analysis.perfwatt import normalized_perf_per_watt
+from repro.analysis.tables import ascii_bar_chart, series_table
+from repro.analysis.capacity import compare_procurement, servers_needed
+from repro.analysis.loadcurve import LoadCurve, sweep_load
+from repro.analysis.regression import RegressionReport, Verdict, compare_suite_runs
+
+__all__ = [
+    "FidelityComparison",
+    "compare_profiles",
+    "projection_errors",
+    "normalized_perf_per_watt",
+    "series_table",
+    "ascii_bar_chart",
+    "servers_needed",
+    "compare_procurement",
+    "LoadCurve",
+    "sweep_load",
+    "compare_suite_runs",
+    "RegressionReport",
+    "Verdict",
+]

@@ -1,0 +1,100 @@
+"""Capacity planning and procurement comparison.
+
+The paper's headline use case is procurement: pick the CPU that serves
+the fleet's demand at the best cost.  Two ingredients from Section 2.3
+are implemented here:
+
+* **Failover headroom** — regions must absorb a sibling region's load
+  when it fails entirely, so per-region capacity is sized for the
+  post-failover demand, not the steady state.
+* **Fleet cost** — servers needed times TCO per server-year, letting
+  Perf/Watt and Perf/$ (which "are not always aligned") be compared at
+  fleet scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hw.tco import CostEffectiveness
+
+
+def servers_needed(
+    total_demand: float,
+    per_server_capacity: float,
+    target_utilization: float = 0.75,
+    regions: int = 3,
+) -> int:
+    """Servers for a demand with single-region-failure headroom.
+
+    The fleet spreads across ``regions``; when one fails, the remaining
+    ``regions - 1`` must serve everything while staying at or below
+    ``target_utilization``.  Returns the total server count across all
+    regions.
+    """
+    if total_demand <= 0:
+        raise ValueError("total_demand must be positive")
+    if per_server_capacity <= 0:
+        raise ValueError("per_server_capacity must be positive")
+    if not 0.0 < target_utilization <= 1.0:
+        raise ValueError("target_utilization must be in (0, 1]")
+    if regions < 2:
+        raise ValueError("need at least 2 regions for failover")
+    # After a failure, each surviving region serves demand/(regions-1).
+    per_region_peak = total_demand / (regions - 1)
+    per_region_servers = math.ceil(
+        per_region_peak / (per_server_capacity * target_utilization)
+    )
+    return per_region_servers * regions
+
+
+@dataclass(frozen=True)
+class ProcurementOption:
+    """One SKU candidate evaluated against a fleet demand."""
+
+    cost: CostEffectiveness
+    servers: int
+    fleet_power_w: float
+    fleet_tco_per_year_usd: float
+
+    @property
+    def sku(self) -> str:
+        return self.cost.sku
+
+
+def compare_procurement(
+    candidates: List[CostEffectiveness],
+    total_demand: float,
+    target_utilization: float = 0.75,
+    regions: int = 3,
+) -> Dict[str, ProcurementOption]:
+    """Size the fleet per candidate and total its power and cost."""
+    if not candidates:
+        raise ValueError("no candidates to compare")
+    options: Dict[str, ProcurementOption] = {}
+    for candidate in candidates:
+        count = servers_needed(
+            total_demand,
+            candidate.performance,
+            target_utilization=target_utilization,
+            regions=regions,
+        )
+        options[candidate.sku] = ProcurementOption(
+            cost=candidate,
+            servers=count,
+            fleet_power_w=count * candidate.average_power_w,
+            fleet_tco_per_year_usd=count * candidate.tco_per_year_usd,
+        )
+    return options
+
+
+def cheapest(options: Dict[str, ProcurementOption]) -> str:
+    """SKU with the lowest fleet TCO (the Perf/$ winner at scale)."""
+    return min(options.values(), key=lambda o: o.fleet_tco_per_year_usd).sku
+
+
+def most_power_efficient(options: Dict[str, ProcurementOption]) -> str:
+    """SKU with the lowest fleet power (the Perf/Watt winner at scale)."""
+    return min(options.values(), key=lambda o: o.fleet_power_w).sku

@@ -1,0 +1,93 @@
+"""Benchmark-vs-production fidelity metrics.
+
+The paper's evaluation method: run the benchmark and its production
+counterpart, compare their microarchitecture profiles metric by metric
+(Figures 4-12), and use large disagreements to drive benchmark
+improvements.  This module computes those comparisons, plus the
+Figure 3 projection errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.uarch.projection import SteadyState
+
+
+@dataclass(frozen=True)
+class FidelityComparison:
+    """Per-metric relative differences between benchmark and production."""
+
+    benchmark: str
+    production: str
+    differences: Dict[str, float]
+
+    def worst_metric(self) -> str:
+        """The metric with the largest absolute relative difference."""
+        return max(self.differences, key=lambda k: abs(self.differences[k]))
+
+    def within(self, tolerance: float) -> bool:
+        """True when every metric is within the relative tolerance."""
+        return all(abs(v) <= tolerance for v in self.differences.values())
+
+
+def _rel(benchmark_value: float, production_value: float) -> float:
+    if production_value == 0:
+        return 0.0 if benchmark_value == 0 else float("inf")
+    return (benchmark_value - production_value) / abs(production_value)
+
+
+def compare_profiles(
+    benchmark_state: SteadyState, production_state: SteadyState
+) -> FidelityComparison:
+    """Compare two steady states across the paper's fidelity metrics."""
+    diffs = {
+        "ipc": _rel(
+            benchmark_state.ipc_per_physical_core,
+            production_state.ipc_per_physical_core,
+        ),
+        "l1i_mpki": _rel(
+            benchmark_state.misses.l1i_mpki, production_state.misses.l1i_mpki
+        ),
+        "llc_mpki": _rel(
+            benchmark_state.misses.llc_mpki, production_state.misses.llc_mpki
+        ),
+        "membw": _rel(
+            benchmark_state.memory_bandwidth_gbps,
+            production_state.memory_bandwidth_gbps,
+        ),
+        "freq": _rel(
+            benchmark_state.effective_freq_ghz,
+            production_state.effective_freq_ghz,
+        ),
+        "frontend": benchmark_state.tmam.frontend - production_state.tmam.frontend,
+        "backend": benchmark_state.tmam.backend - production_state.tmam.backend,
+        "retiring": benchmark_state.tmam.retiring - production_state.tmam.retiring,
+        "power": _rel(benchmark_state.power.total, production_state.power.total),
+    }
+    return FidelityComparison(
+        benchmark=benchmark_state.workload,
+        production=production_state.workload,
+        differences=diffs,
+    )
+
+
+def projection_errors(
+    suite_scores: Sequence[float], production_scores: Sequence[float]
+) -> List[float]:
+    """Figure 3: per-SKU relative error of a suite vs production.
+
+    Both sequences must be normalized to the same baseline SKU (index 0
+    is the baseline and yields 0 error by construction).
+    """
+    if len(suite_scores) != len(production_scores):
+        raise ValueError("score sequences must be equal length")
+    if not suite_scores:
+        raise ValueError("empty score sequences")
+    errors = []
+    for suite, prod in zip(suite_scores, production_scores):
+        if prod <= 0:
+            raise ValueError("production scores must be positive")
+        errors.append((suite - prod) / prod)
+    return errors

@@ -1,0 +1,89 @@
+"""Load-response curves: throughput/latency/utilization vs offered load.
+
+The generic instrument behind Figure 13-style plots: sweep a workload's
+``load_scale`` and record what the server actually delivers.  Useful
+for locating the knee (where goodput saturates), checking SLO headroom,
+and comparing saturation behaviour across SKUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.workloads.base import RunConfig, Workload
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One point on the load-response curve."""
+
+    load_scale: float
+    throughput: float
+    cpu_util: float
+    p95_seconds: float
+
+    @property
+    def saturated(self) -> bool:
+        return self.cpu_util >= 0.98
+
+
+@dataclass(frozen=True)
+class LoadCurve:
+    """A swept curve plus derived features."""
+
+    workload: str
+    sku: str
+    points: List[LoadPoint]
+
+    def peak_throughput(self) -> float:
+        return max(p.throughput for p in self.points)
+
+    def knee_load_scale(self) -> float:
+        """The smallest load scale achieving >= 97% of peak goodput."""
+        peak = self.peak_throughput()
+        for point in self.points:
+            if point.throughput >= 0.97 * peak:
+                return point.load_scale
+        return self.points[-1].load_scale  # pragma: no cover
+
+    def degrades_past_knee(self, tolerance: float = 0.05) -> bool:
+        """True when goodput drops measurably beyond the knee (the
+        CloudSuite overload signature)."""
+        peak = self.peak_throughput()
+        return self.points[-1].throughput < (1.0 - tolerance) * peak
+
+
+def sweep_load(
+    workload: Workload,
+    base_config: RunConfig,
+    load_scales: Sequence[float],
+) -> LoadCurve:
+    """Run the workload at each load scale and assemble the curve."""
+    if not load_scales:
+        raise ValueError("load_scales must be non-empty")
+    if list(load_scales) != sorted(load_scales):
+        raise ValueError("load_scales must be ascending")
+    points: List[LoadPoint] = []
+    for scale in load_scales:
+        config = RunConfig(
+            sku_name=base_config.sku_name,
+            kernel_version=base_config.kernel_version,
+            seed=base_config.seed,
+            warmup_seconds=base_config.warmup_seconds,
+            measure_seconds=base_config.measure_seconds,
+            load_scale=base_config.load_scale * scale,
+            batch=base_config.batch,
+        )
+        result = workload.run(config)
+        points.append(
+            LoadPoint(
+                load_scale=scale,
+                throughput=result.throughput_rps,
+                cpu_util=result.cpu_util,
+                p95_seconds=result.latency.get("p95", 0.0),
+            )
+        )
+    return LoadCurve(
+        workload=workload.name, sku=base_config.sku_name, points=points
+    )

@@ -1,0 +1,36 @@
+"""Perf/Watt computation (Section 2.3, Figure 14).
+
+The paper's method: divide each benchmark's performance number by the
+server's average wall power during the steady-state run, normalize to
+the SKU1 baseline, and take the geometric mean across the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.scoring import geometric_mean
+
+
+def normalized_perf_per_watt(
+    candidate: Dict[str, float], baseline: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-benchmark Perf/Watt ratios, candidate vs baseline machine.
+
+    Inputs map benchmark name to raw Perf/Watt (metric / watts); the
+    output adds a ``"dcperf"`` entry holding the suite geomean.
+    """
+    if set(candidate) != set(baseline):
+        raise ValueError(
+            "candidate and baseline must cover the same benchmarks: "
+            f"{sorted(candidate)} vs {sorted(baseline)}"
+        )
+    if not candidate:
+        raise ValueError("empty Perf/Watt mappings")
+    normalized = {}
+    for name in candidate:
+        if baseline[name] <= 0 or candidate[name] <= 0:
+            raise ValueError(f"non-positive Perf/Watt for {name!r}")
+        normalized[name] = candidate[name] / baseline[name]
+    normalized["dcperf"] = geometric_mean(normalized.values())
+    return normalized

@@ -1,0 +1,111 @@
+"""Suite-to-suite regression detection.
+
+Section 1 ("Broad Usage"): DCPerf "can help evaluate performance
+improvements or regressions in common software components it utilizes,
+including compilers, runtimes... or the OS kernel", the pre-production
+role Meta's ServiceLab plays for production code.  Section 5.3 is an
+instance: the kernel 6.4 -> 6.9 comparison surfaced a scheduler
+scalability bug.
+
+This module compares two :class:`~repro.core.suite.SuiteReport` runs
+(before/after a software change) and flags per-benchmark deltas beyond
+a noise threshold, plus the suite-level verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.suite import SuiteReport
+
+
+class Verdict(enum.Enum):
+    REGRESSION = "regression"
+    IMPROVEMENT = "improvement"
+    NEUTRAL = "neutral"
+
+
+@dataclass(frozen=True)
+class BenchmarkDelta:
+    """One benchmark's before/after comparison."""
+
+    benchmark: str
+    before: float
+    after: float
+    relative_change: float
+    verdict: Verdict
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Full before/after comparison of two suite runs."""
+
+    deltas: List[BenchmarkDelta]
+    suite_relative_change: float
+    verdict: Verdict
+
+    def regressions(self) -> List[BenchmarkDelta]:
+        return [d for d in self.deltas if d.verdict is Verdict.REGRESSION]
+
+    def improvements(self) -> List[BenchmarkDelta]:
+        return [d for d in self.deltas if d.verdict is Verdict.IMPROVEMENT]
+
+    def worst(self) -> BenchmarkDelta:
+        return min(self.deltas, key=lambda d: d.relative_change)
+
+
+def _classify(change: float, threshold: float) -> Verdict:
+    if change <= -threshold:
+        return Verdict.REGRESSION
+    if change >= threshold:
+        return Verdict.IMPROVEMENT
+    return Verdict.NEUTRAL
+
+
+def compare_suite_runs(
+    before: SuiteReport,
+    after: SuiteReport,
+    noise_threshold: float = 0.03,
+) -> RegressionReport:
+    """Compare two suite runs on the same SKU.
+
+    ``noise_threshold`` is the relative change below which a delta is
+    considered measurement noise (simulation runs are deterministic,
+    but real deployments are not; 3% mirrors typical run-to-run noise
+    budgets).
+    """
+    if before.sku != after.sku:
+        raise ValueError(
+            f"suite runs must target the same SKU: {before.sku} vs {after.sku}"
+        )
+    if set(before.reports) != set(after.reports):
+        raise ValueError("suite runs cover different benchmark sets")
+    if not 0.0 <= noise_threshold < 1.0:
+        raise ValueError("noise_threshold must be in [0, 1)")
+
+    deltas: List[BenchmarkDelta] = []
+    for name in before.reports:
+        b = before.reports[name].metric_value
+        a = after.reports[name].metric_value
+        if b <= 0:
+            raise ValueError(f"non-positive baseline metric for {name!r}")
+        change = (a - b) / b
+        deltas.append(
+            BenchmarkDelta(
+                benchmark=name,
+                before=b,
+                after=a,
+                relative_change=change,
+                verdict=_classify(change, noise_threshold),
+            )
+        )
+    suite_change = (
+        after.overall_score - before.overall_score
+    ) / before.overall_score
+    return RegressionReport(
+        deltas=sorted(deltas, key=lambda d: d.relative_change),
+        suite_relative_change=suite_change,
+        verdict=_classify(suite_change, noise_threshold),
+    )

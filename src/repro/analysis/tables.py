@@ -1,0 +1,53 @@
+"""Plain-text rendering of the paper's figures for the bench harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def series_table(
+    row_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render named series against a shared set of row labels.
+
+    Used for figure reproductions like "perf per SKU per suite".
+    """
+    if not series:
+        raise ValueError("no series to render")
+    for name, values in series.items():
+        if len(values) != len(row_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(row_labels)} rows"
+            )
+    headers = [""] + list(series)
+    widths = [max(len(h), 10) for h in headers]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for i, label in enumerate(row_labels):
+        cells = [label.ljust(widths[0])]
+        for j, name in enumerate(series):
+            cells.append(value_format.format(series[name][i]).ljust(widths[j + 1]))
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Dict[str, float], width: int = 40, value_format: str = "{:.2f}"
+) -> str:
+    """One horizontal bar per entry, scaled to the maximum value."""
+    if not values:
+        raise ValueError("no values to chart")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar chart requires a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines: List[str] = []
+    for name, value in values.items():
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{name.ljust(label_width)}  {bar} {value_format.format(value)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Memcached-style server model.
+
+Exposes the core Memcached command set (get/set/delete/flush/stats)
+over the LRU store, with the text-protocol semantics that matter for
+correctness: flat key space, byte values, per-item TTLs, and LRU
+eviction under a byte budget.  TaoBench's server component is built on
+this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.cachelib.lru import LruCache
+
+#: Memcached's classic limits.
+MAX_KEY_BYTES = 250
+MAX_VALUE_BYTES = 1024 * 1024
+
+
+class MemcachedError(Exception):
+    """Raised on protocol violations (bad key/value)."""
+
+
+class MemcachedServer:
+    """A single Memcached instance."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 64 * 1024 * 1024,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.cache = LruCache(capacity_bytes, clock=clock)
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not key or len(key.encode("utf-8")) > MAX_KEY_BYTES:
+            raise MemcachedError(f"invalid key length: {len(key)}")
+        if any(c.isspace() for c in key):
+            raise MemcachedError("keys must not contain whitespace")
+
+    def get(self, key: str) -> Optional[bytes]:
+        self._check_key(key)
+        return self.cache.get(key)
+
+    def get_multi(self, keys: Iterable[str]) -> Dict[str, bytes]:
+        """Batch get; absent keys are omitted from the result."""
+        out: Dict[str, bytes] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def set(self, key: str, value: bytes, ttl_seconds: Optional[float] = None) -> None:
+        self._check_key(key)
+        if len(value) > MAX_VALUE_BYTES:
+            raise MemcachedError(
+                f"value of {len(value)} bytes exceeds the 1MB item limit"
+            )
+        self.cache.set(key, value, ttl_seconds=ttl_seconds)
+
+    def delete(self, key: str) -> bool:
+        self._check_key(key)
+        return self.cache.delete(key)
+
+    def flush_all(self) -> None:
+        """Drop every item (preserves counters, like the real command)."""
+        for key, _ in self.cache.items_snapshot():
+            self.cache.delete(key)
+
+    def stats(self) -> Dict[str, float]:
+        s = self.cache.stats
+        return {
+            "get_hits": s.hits,
+            "get_misses": s.misses,
+            "evictions": s.evictions,
+            "expired": s.expirations,
+            "cmd_set": s.sets,
+            "curr_items": len(self.cache),
+            "bytes": self.cache.used_bytes,
+            "hit_rate": s.hit_rate,
+        }

@@ -1,0 +1,170 @@
+"""Command-line interface: the clone/build/run workflow of Section 2.1.
+
+Usage examples::
+
+    dcperf list
+    dcperf install -b taobench
+    dcperf run -b taobench --sku SKU2 --kernel 6.9 --json out.json
+    dcperf suite --sku SKU4
+    dcperf microbench
+    dcperf skus
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.benchmark import Benchmark
+from repro.core.report import format_table, write_json_report
+from repro.core.suite import DCPerfSuite
+from repro.hw.sku import list_skus
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import dcperf_benchmarks, extension_benchmarks
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in dcperf_benchmarks() + extension_benchmarks():
+        bench = Benchmark.by_name(name)
+        desc = bench.workload.describe()
+        suite = "extension" if name in extension_benchmarks() else "dcperf"
+        rows.append(
+            [
+                name,
+                suite,
+                desc["category"],
+                desc["metric"],
+                f"{desc['tax_fraction']:.0%}",
+            ]
+        )
+    print(
+        format_table(["benchmark", "suite", "category", "metric", "tax share"], rows)
+    )
+    return 0
+
+
+def _cmd_skus(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            sku.name,
+            sku.logical_cores,
+            sku.memory.capacity_gb,
+            sku.network_gbps,
+            sku.storage,
+            sku.year,
+            sku.designed_power_w,
+        ]
+        for sku in list_skus()
+    ]
+    print(
+        format_table(
+            ["sku", "logical cores", "ram GB", "net Gbps", "storage", "year", "power W"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_install(args: argparse.Namespace) -> int:
+    bench = Benchmark.by_name(args.benchmark)
+    description = bench.install()
+    print(json.dumps(description, indent=2, default=str))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bench = Benchmark.by_name(args.benchmark)
+    config = RunConfig(
+        sku_name=args.sku,
+        kernel_version=args.kernel,
+        seed=args.seed,
+        measure_seconds=args.measure_seconds,
+    )
+    report = bench.run(config)
+    payload = report.as_dict()
+    if args.json:
+        path = write_json_report(payload, args.json)
+        print(f"report written to {path}")
+    else:
+        print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = DCPerfSuite(measure_seconds=args.measure_seconds)
+    report = suite.run(args.sku, kernel=args.kernel, seed=args.seed)
+    rows = [
+        [name, f"{report.reports[name].metric_value:.4g}", f"{score:.3f}"]
+        for name, score in report.scores.items()
+    ]
+    print(format_table(["benchmark", "metric", "score vs SKU1"], rows))
+    print(f"\noverall score (geomean): {report.overall_score:.3f}")
+    if args.json:
+        path = write_json_report(report.as_dict(), args.json)
+        print(f"report written to {path}")
+    return 0
+
+
+def _cmd_microbench(_args: argparse.Namespace) -> int:
+    from repro.dctax.microbench import run_all
+
+    rows = [
+        [name, result.operations, f"{result.ops_per_second:.4g}"]
+        for name, result in run_all().items()
+    ]
+    print(format_table(["microbenchmark", "ops", "ops/s"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dcperf",
+        description="DCPerf reproduction: datacenter benchmarks on a simulated substrate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("skus", help="list modeled server SKUs").set_defaults(
+        func=_cmd_skus
+    )
+
+    p_install = sub.add_parser("install", help="prepare one benchmark")
+    p_install.add_argument("-b", "--benchmark", required=True)
+    p_install.set_defaults(func=_cmd_install)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("-b", "--benchmark", required=True)
+    p_run.add_argument("--sku", default="SKU2")
+    p_run.add_argument("--kernel", default="6.9", choices=["6.4", "6.9"])
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--measure-seconds", type=float, default=2.0)
+    p_run.add_argument("--json", help="write the report to this JSON file")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run the whole suite and score it")
+    p_suite.add_argument("--sku", default="SKU2")
+    p_suite.add_argument("--kernel", default="6.9", choices=["6.4", "6.9"])
+    p_suite.add_argument("--seed", type=int, default=7)
+    p_suite.add_argument("--measure-seconds", type=float, default=1.5)
+    p_suite.add_argument("--json", help="write the report to this JSON file")
+    p_suite.set_defaults(func=_cmd_suite)
+
+    sub.add_parser(
+        "microbench", help="run the datacenter-tax microbenchmarks"
+    ).set_defaults(func=_cmd_microbench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""Extensible monitoring hooks.
+
+DCPerf is designed as an extensible framework through plugins called
+hooks (Section 3.1): each hook observes a benchmark run and contributes
+a section to the final report.  ``before_run`` runs ahead of the
+benchmark, ``after_run`` receives the finished
+:class:`~repro.workloads.base.WorkloadResult` and returns the hook's
+report section.  Hooks must not mutate the result.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import HookError
+from repro.workloads.base import RunConfig, WorkloadResult
+
+
+@dataclass
+class RunContext:
+    """Everything hooks may observe about one benchmark run."""
+
+    benchmark: str
+    config: RunConfig
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class Hook(abc.ABC):
+    """One monitoring plugin."""
+
+    #: Unique hook name, used as the report-section key.
+    name: str = "abstract"
+
+    def before_run(self, ctx: RunContext) -> None:
+        """Called before the benchmark starts (default: nothing)."""
+
+    @abc.abstractmethod
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        """Produce this hook's report section from the finished run."""
+
+
+class CpuUtilHook(Hook):
+    """Total CPU utilization plus user/kernel breakdown (Fig. 9)."""
+
+    name = "cpu_util"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        return {
+            "total_pct": result.cpu_util * 100.0,
+            "sys_pct": result.kernel_util * 100.0,
+            "user_pct": max(0.0, result.cpu_util - result.kernel_util) * 100.0,
+        }
+
+
+class MemStatHook(Hook):
+    """Memory footprint estimate from the workload's data set."""
+
+    name = "memstat"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        sku = ctx.config.sku
+        if result.steady is None:
+            return {"capacity_gb": sku.memory.capacity_gb}
+        bw = result.steady.memory_bandwidth_gbps
+        return {
+            "capacity_gb": sku.memory.capacity_gb,
+            "bandwidth_gbps": bw,
+            "bandwidth_pct_of_peak": bw / sku.memory.peak_bw_gbps * 100.0,
+        }
+
+
+class NetStatHook(Hook):
+    """Network traffic derived from throughput x bytes/request."""
+
+    name = "netstat"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        sku = ctx.config.sku
+        # The benchmark's characteristics travel with the workload via
+        # the steady state; fall back to zero traffic if absent.
+        if result.steady is None:
+            return {"nic_gbps": sku.network_gbps}
+        rps = result.throughput_rps
+        bytes_per_request = ctx.metadata.get("network_bytes_per_request", 0.0)
+        gbps = rps * float(bytes_per_request) * 8.0 / 1e9
+        return {
+            "nic_gbps": sku.network_gbps,
+            "traffic_gbps": gbps,
+            "nic_util_pct": min(100.0, gbps / sku.network_gbps * 100.0),
+        }
+
+
+class CpuFreqHook(Hook):
+    """Effective core frequency (Fig. 11)."""
+
+    name = "cpufreq"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        if result.steady is None:
+            raise HookError("cpufreq hook requires a steady state")
+        return {
+            "effective_ghz": result.steady.effective_freq_ghz,
+            "base_ghz": ctx.config.sku.cpu.base_freq_ghz,
+            "max_ghz": ctx.config.sku.cpu.max_freq_ghz,
+        }
+
+
+class PowerHook(Hook):
+    """Wall power and component breakdown (Fig. 10)."""
+
+    name = "power"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        if result.steady is None:
+            raise HookError("power hook requires a steady state")
+        breakdown = result.steady.power.as_dict()
+        return {
+            "watts": result.steady.power_watts,
+            "designed_watts": ctx.config.sku.designed_power_w,
+            "breakdown_pct": {k: v * 100.0 for k, v in breakdown.items()},
+        }
+
+
+class TopdownHook(Hook):
+    """TMAM slot breakdown (Fig. 4/5)."""
+
+    name = "topdown"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        if result.steady is None:
+            raise HookError("topdown hook requires a steady state")
+        return {k: v * 100.0 for k, v in result.steady.tmam.as_dict().items()}
+
+
+class UarchHook(Hook):
+    """Detailed microarchitecture metrics (Fig. 6/7/8)."""
+
+    name = "uarch"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        if result.steady is None:
+            raise HookError("uarch hook requires a steady state")
+        steady = result.steady
+        return {
+            "ipc_per_physical_core": steady.ipc_per_physical_core,
+            "l1i_mpki": steady.misses.l1i_mpki,
+            "l1d_mpki": steady.misses.l1d_mpki,
+            "l2_mpki": steady.misses.l2_mpki,
+            "llc_mpki": steady.misses.llc_mpki,
+            "membw_gbps": steady.memory_bandwidth_gbps,
+            "gips": steady.giga_instructions_per_second,
+        }
+
+
+class TimelineHook(Hook):
+    """Time-series CPU utilization over the measurement window.
+
+    The paper's hooks record time-series performance data and the
+    CopyMove hook preserves it; this hook summarizes the series and
+    exposes the samples for post-analysis.
+    """
+
+    name = "timeline"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        samples = list(result.timeline)
+        if not samples:
+            return {"samples": 0}
+        utils = [u for _, u in samples]
+        return {
+            "samples": len(samples),
+            "util_min": min(utils),
+            "util_max": max(utils),
+            "util_mean": sum(utils) / len(utils),
+            "series": [[t, u] for t, u in samples],
+        }
+
+
+class CopyMoveHook(Hook):
+    """Preserves run artifacts (result JSON) into a per-run folder."""
+
+    name = "copymove"
+
+    def __init__(self, destination: Optional[str] = None) -> None:
+        self.destination = destination
+        self.copied: List[str] = []
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        import json
+        import os
+
+        if self.destination is None:
+            return {"copied": []}
+        os.makedirs(self.destination, exist_ok=True)
+        path = os.path.join(
+            self.destination, f"{ctx.benchmark}-{ctx.config.sku_name}.json"
+        )
+        with open(path, "w") as fh:
+            json.dump(result.as_dict(), fh, indent=2, default=str)
+        self.copied.append(path)
+        return {"copied": [path]}
+
+
+class HookRegistry:
+    """Named collection of hooks applied to every run."""
+
+    def __init__(self, hooks: Optional[List[Hook]] = None) -> None:
+        self._hooks: Dict[str, Hook] = {}
+        for hook in hooks or []:
+            self.register(hook)
+
+    def register(self, hook: Hook) -> None:
+        if hook.name in self._hooks:
+            raise HookError(f"hook {hook.name!r} is already registered")
+        self._hooks[hook.name] = hook
+
+    def unregister(self, name: str) -> None:
+        if name not in self._hooks:
+            raise HookError(f"no hook named {name!r}")
+        del self._hooks[name]
+
+    def names(self) -> List[str]:
+        return list(self._hooks)
+
+    def run_before(self, ctx: RunContext) -> None:
+        for hook in self._hooks.values():
+            hook.before_run(ctx)
+
+    def run_after(
+        self, ctx: RunContext, result: WorkloadResult
+    ) -> Dict[str, Dict[str, object]]:
+        sections: Dict[str, Dict[str, object]] = {}
+        for name, hook in self._hooks.items():
+            sections[name] = hook.after_run(ctx, result)
+        return sections
+
+
+def default_hooks() -> HookRegistry:
+    """The hook set Section 3.1 lists."""
+    return HookRegistry(
+        [
+            CpuUtilHook(),
+            MemStatHook(),
+            NetStatHook(),
+            CpuFreqHook(),
+            PowerHook(),
+            TopdownHook(),
+            UarchHook(),
+            TimelineHook(),
+        ]
+    )

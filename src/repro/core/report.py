@@ -1,0 +1,74 @@
+"""Result reporting: system info capture and JSON persistence.
+
+After a run finishes, DCPerf reports the benchmark parameters and
+results, along with key information about the system being tested
+(Section 3.1).  Results are stored in JSON so automation can process
+them further.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Dict, List
+
+from repro.workloads.base import RunConfig
+
+
+def system_info(config: RunConfig) -> Dict[str, object]:
+    """Key information about the (simulated) system under test."""
+    sku = config.sku
+    return {
+        "sku": sku.name,
+        "description": sku.description,
+        "cpu_model": sku.cpu.name,
+        "arch": sku.cpu.arch,
+        "logical_cores": sku.logical_cores,
+        "physical_cores": sku.cpu.physical_cores,
+        "smt": sku.cpu.smt,
+        "memory_gb": sku.memory.capacity_gb,
+        "memory_peak_bw_gbps": sku.memory.peak_bw_gbps,
+        "network_gbps": sku.network_gbps,
+        "storage": sku.storage,
+        "kernel_version": config.kernel_version,
+        "designed_power_w": sku.designed_power_w,
+        "harness_python": platform.python_version(),
+    }
+
+
+def write_json_report(report_dict: Dict[str, object], path: str) -> str:
+    """Persist one report as JSON; returns the path written."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report_dict, fh, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def load_json_report(path: str) -> Dict[str, object]:
+    """Read a report back (for post-analysis tooling)."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def format_table(headers: List[str], rows: List[List[object]]) -> str:
+    """Plain-text table formatting used by the CLI and bench output."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                columns[i].append(f"{cell:.3g}")
+            else:
+                columns[i].append(str(cell))
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    for r in range(len(rows) + 1):
+        line = "  ".join(columns[c][r].ljust(widths[c]) for c in range(len(headers)))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Score normalization and suite aggregation.
+
+DCPerf reports a per-benchmark normalized score — the machine's
+application metric divided by a known baseline machine's — and an
+overall score that is the geometric mean of the benchmark scores
+(Section 3.1).  SKU1 is the baseline, matching Figure 2 ("the
+projection errors are 0% for SKU1 because it is used as the baseline
+for calibration").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+BASELINE_SKU = "SKU1"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty input or non-positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_geometric_mean(
+    values: Dict[str, float], weights: Dict[str, float]
+) -> float:
+    """Geomean with per-key weights (power-weighted production score)."""
+    if not values:
+        raise ValueError("weighted geometric mean of empty mapping")
+    total_weight = sum(weights.get(k, 1.0) for k in values)
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    acc = 0.0
+    for key, value in values.items():
+        if value <= 0:
+            raise ValueError(f"non-positive value for {key}: {value}")
+        acc += weights.get(key, 1.0) * math.log(value)
+    return math.exp(acc / total_weight)
+
+
+class ScoreBoard:
+    """Caches baseline metrics and normalizes scores against them.
+
+    Baselines are registered once per (workload, metric); scores are
+    metric / baseline.  The suite runner registers SKU1 results as
+    baselines before scoring other SKUs.
+    """
+
+    def __init__(self, baseline_sku: str = BASELINE_SKU) -> None:
+        self.baseline_sku = baseline_sku
+        self._baselines: Dict[str, float] = {}
+
+    def register_baseline(self, workload: str, metric: float) -> None:
+        if metric <= 0:
+            raise ValueError(f"baseline for {workload!r} must be positive")
+        self._baselines[workload] = metric
+
+    def has_baseline(self, workload: str) -> bool:
+        return workload in self._baselines
+
+    def baseline(self, workload: str) -> float:
+        try:
+            return self._baselines[workload]
+        except KeyError:
+            raise KeyError(
+                f"no baseline registered for {workload!r}; run the suite on "
+                f"{self.baseline_sku} first"
+            ) from None
+
+    def score(self, workload: str, metric: float) -> float:
+        """Normalized score: metric relative to the baseline machine."""
+        if metric <= 0:
+            raise ValueError(f"metric for {workload!r} must be positive")
+        return metric / self.baseline(workload)
+
+    def suite_score(self, scores: Dict[str, float], weights: Optional[Dict[str, float]] = None) -> float:
+        """Overall score: (weighted) geometric mean of benchmark scores."""
+        if weights:
+            return weighted_geometric_mean(scores, weights)
+        return geometric_mean(scores.values())

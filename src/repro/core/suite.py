@@ -1,0 +1,120 @@
+"""Suite orchestration: run all benchmarks, normalize, aggregate.
+
+Reproduces the paper's scoring methodology: each benchmark's metric is
+normalized to SKU1 and the suite score is the geometric mean (Section
+3.1).  The production score is the power-weighted geomean of the
+production counterparts (Section 4.1: "weighted by each workload's
+power consumption in our fleet").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.benchmark import Benchmark, BenchmarkReport
+from repro.core.scoring import BASELINE_SKU, ScoreBoard
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import dcperf_benchmarks
+
+#: Fleet power weights per workload category (web dominates Meta's
+#: general-purpose fleet; Section 3.2 says the modeled categories are
+#: the top power consumers).
+FLEET_POWER_WEIGHTS: Dict[str, float] = {
+    "mediawiki": 0.30,
+    "djangobench": 0.20,
+    "feedsim": 0.20,
+    "taobench": 0.15,
+    "sparkbench": 0.10,
+    "videotranscode": 0.05,
+}
+
+
+@dataclass
+class SuiteReport:
+    """Per-benchmark reports plus the aggregate scores."""
+
+    sku: str
+    kernel: str
+    reports: Dict[str, BenchmarkReport]
+    scores: Dict[str, float]
+    overall_score: float
+    perf_per_watt: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "sku": self.sku,
+            "kernel": self.kernel,
+            "scores": dict(self.scores),
+            "overall_score": self.overall_score,
+            "perf_per_watt": dict(self.perf_per_watt),
+            "reports": {k: v.as_dict() for k, v in self.reports.items()},
+        }
+
+
+class DCPerfSuite:
+    """Runs the whole benchmark suite and scores it against SKU1."""
+
+    def __init__(
+        self,
+        benchmark_names: Optional[List[str]] = None,
+        variant: str = "",
+        baseline_sku: str = BASELINE_SKU,
+        measure_seconds: float = 1.5,
+    ) -> None:
+        self.benchmark_names = benchmark_names or dcperf_benchmarks()
+        #: '' for the DCPerf benchmarks, ':prod' for production twins.
+        self.variant = variant
+        self.scoreboard = ScoreBoard(baseline_sku)
+        self.measure_seconds = measure_seconds
+        self._baseline_cache: Dict[str, BenchmarkReport] = {}
+
+    def _config(self, sku: str, kernel: str, seed: int) -> RunConfig:
+        return RunConfig(
+            sku_name=sku,
+            kernel_version=kernel,
+            seed=seed,
+            measure_seconds=self.measure_seconds,
+        )
+
+    def _run_one(self, name: str, config: RunConfig) -> BenchmarkReport:
+        return Benchmark.by_name(name + self.variant).run(config)
+
+    def _ensure_baselines(self, kernel: str, seed: int) -> None:
+        for name in self.benchmark_names:
+            if not self.scoreboard.has_baseline(name):
+                config = self._config(self.scoreboard.baseline_sku, kernel, seed)
+                report = self._run_one(name, config)
+                self._baseline_cache[name] = report
+                self.scoreboard.register_baseline(name, report.metric_value)
+
+    def run(self, sku: str, kernel: str = "6.9", seed: int = 7) -> SuiteReport:
+        """Run every benchmark on a SKU and score against the baseline."""
+        self._ensure_baselines(kernel, seed)
+        reports: Dict[str, BenchmarkReport] = {}
+        scores: Dict[str, float] = {}
+        perf_per_watt: Dict[str, float] = {}
+        for name in self.benchmark_names:
+            if sku == self.scoreboard.baseline_sku and name in self._baseline_cache:
+                report = self._baseline_cache[name]
+            else:
+                report = self._run_one(name, self._config(sku, kernel, seed))
+            report.score = self.scoreboard.score(name, report.metric_value)
+            reports[name] = report
+            scores[name] = report.score
+            perf_per_watt[name] = report.result.perf_per_watt()
+        overall = self.scoreboard.suite_score(scores)
+        return SuiteReport(
+            sku=sku,
+            kernel=kernel,
+            reports=reports,
+            scores=scores,
+            overall_score=overall,
+            perf_per_watt=perf_per_watt,
+        )
+
+    def production_score(self, suite_report: SuiteReport) -> float:
+        """Power-weighted aggregate (the Figure 2 'Production' method)."""
+        return self.scoreboard.suite_score(
+            suite_report.scores, weights=FLEET_POWER_WEIGHTS
+        )

@@ -1,0 +1,20 @@
+"""Synthetic dataset generation.
+
+SparkBench "uses a synthetic, representative dataset (over 100GB)...
+the dataset retains features such as table schema, data types,
+cardinality, and the number of distinct values" (Section 2.2).  This
+package generates such datasets at configurable scale: a declarative
+schema, per-column cardinality control, and a row generator plus the
+columnar table the query engine consumes.
+"""
+
+from repro.data.schema import Column, ColumnKind, TableSchema
+from repro.data.generator import DatasetGenerator, GeneratedTable
+
+__all__ = [
+    "Column",
+    "ColumnKind",
+    "TableSchema",
+    "DatasetGenerator",
+    "GeneratedTable",
+]

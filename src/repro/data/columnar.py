@@ -1,0 +1,163 @@
+"""Columnar serialization and compression for generated tables.
+
+Warehouse data lives on disk column-encoded and compressed; SparkBench
+reads "over 100GB" of it through NVMe-over-TCP.  This module makes that
+path real at validation scale: typed column encodings (delta-zigzag
+varints for integers, bit-packed booleans, length-prefixed strings, a
+null bitmap per column) plus compression through the datacenter-tax
+codecs, so the compression ratios SparkBench reports are measured on
+actual bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.data.generator import GeneratedTable
+from repro.data.schema import Column, ColumnKind
+from repro.dctax.compression import CompressionCodec, ZlibCodec
+from repro.rpc.compact import read_varint, write_varint, zigzag_decode, zigzag_encode
+
+
+class ColumnarError(Exception):
+    """Raised on malformed column payloads."""
+
+
+def _pack_null_bitmap(values: List[Any]) -> bytes:
+    out = bytearray((len(values) + 7) // 8)
+    for index, value in enumerate(values):
+        if value is not None:
+            out[index // 8] |= 1 << (index % 8)
+    return bytes(out)
+
+
+def _unpack_null_bitmap(data: bytes, count: int) -> List[bool]:
+    present = []
+    for index in range(count):
+        byte = data[index // 8]
+        present.append(bool(byte & (1 << (index % 8))))
+    return present
+
+
+def encode_column(values: List[Any], kind: ColumnKind) -> bytes:
+    """Encode one column: null bitmap + typed payload."""
+    out = bytearray()
+    write_varint(out, len(values))
+    out.extend(_pack_null_bitmap(values))
+    present = [v for v in values if v is not None]
+
+    if kind in (ColumnKind.INT64, ColumnKind.TIMESTAMP):
+        previous = 0
+        for value in present:
+            write_varint(out, zigzag_encode(int(value) - previous))
+            previous = int(value)
+    elif kind == ColumnKind.DOUBLE:
+        out.extend(struct.pack(f"<{len(present)}d", *present))
+    elif kind == ColumnKind.BOOL:
+        bits = bytearray((len(present) + 7) // 8)
+        for index, value in enumerate(present):
+            if value:
+                bits[index // 8] |= 1 << (index % 8)
+        out.extend(bits)
+    elif kind == ColumnKind.STRING:
+        for value in present:
+            payload = value.encode("utf-8")
+            write_varint(out, len(payload))
+            out.extend(payload)
+    else:  # pragma: no cover - all kinds handled
+        raise ColumnarError(f"unhandled column kind {kind}")
+    return bytes(out)
+
+
+def decode_column(data: bytes, kind: ColumnKind) -> List[Any]:
+    """Invert :func:`encode_column`."""
+    count, pos = read_varint(data, 0)
+    bitmap_len = (count + 7) // 8
+    if pos + bitmap_len > len(data):
+        raise ColumnarError("truncated null bitmap")
+    present_flags = _unpack_null_bitmap(data[pos : pos + bitmap_len], count)
+    pos += bitmap_len
+    num_present = sum(present_flags)
+
+    present: List[Any]
+    if kind in (ColumnKind.INT64, ColumnKind.TIMESTAMP):
+        present = []
+        previous = 0
+        for _ in range(num_present):
+            delta, pos = read_varint(data, pos)
+            previous += zigzag_decode(delta)
+            present.append(previous)
+    elif kind == ColumnKind.DOUBLE:
+        need = 8 * num_present
+        if pos + need > len(data):
+            raise ColumnarError("truncated double payload")
+        present = list(struct.unpack(f"<{num_present}d", data[pos : pos + need]))
+        pos += need
+    elif kind == ColumnKind.BOOL:
+        need = (num_present + 7) // 8
+        if pos + need > len(data):
+            raise ColumnarError("truncated bool payload")
+        bits = data[pos : pos + need]
+        present = [
+            bool(bits[i // 8] & (1 << (i % 8))) for i in range(num_present)
+        ]
+        pos += need
+    elif kind == ColumnKind.STRING:
+        present = []
+        for _ in range(num_present):
+            length, pos = read_varint(data, pos)
+            if pos + length > len(data):
+                raise ColumnarError("truncated string payload")
+            present.append(data[pos : pos + length].decode("utf-8"))
+            pos += length
+    else:  # pragma: no cover
+        raise ColumnarError(f"unhandled column kind {kind}")
+
+    iterator = iter(present)
+    return [next(iterator) if flag else None for flag in present_flags]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Measured storage footprint of one encoded column."""
+
+    name: str
+    encoded_bytes: int
+    compressed_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.encoded_bytes / max(1, self.compressed_bytes)
+
+
+def store_table(
+    table: GeneratedTable, codec: Optional[CompressionCodec] = None
+) -> Dict[str, ColumnStats]:
+    """Encode + compress every column; returns measured footprints.
+
+    Also round-trips each column through decode to guarantee the stored
+    form is faithful (a checksum-grade validation of the storage path).
+    """
+    codec = codec or ZlibCodec()
+    stats: Dict[str, ColumnStats] = {}
+    for column in table.schema.columns:
+        values = table.columns[column.name]
+        encoded = encode_column(values, column.kind)
+        if decode_column(encoded, column.kind) != values:
+            raise ColumnarError(f"column {column.name!r} failed round trip")
+        compressed = codec.compress(encoded)
+        stats[column.name] = ColumnStats(
+            name=column.name,
+            encoded_bytes=len(encoded),
+            compressed_bytes=len(compressed),
+        )
+    return stats
+
+
+def table_compression_ratio(stats: Dict[str, ColumnStats]) -> float:
+    """Aggregate ratio across all columns."""
+    encoded = sum(s.encoded_bytes for s in stats.values())
+    compressed = sum(s.compressed_bytes for s in stats.values())
+    return encoded / max(1, compressed)

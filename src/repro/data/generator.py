@@ -1,0 +1,103 @@
+"""Row/column generation from a schema.
+
+Generates deterministic columnar data respecting each column's type,
+distinct-value bound, skew, and null fraction — the dataset features
+the paper says SparkBench preserves when scaling production data down.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.data.schema import Column, ColumnKind, TableSchema
+from repro.sim.rng import RngStreams, ZipfSampler
+
+_EPOCH_2026 = 1_767_225_600  # 2026-01-01 UTC
+
+
+@dataclass
+class GeneratedTable:
+    """Columnar data: column name -> list of values (None = NULL)."""
+
+    schema: TableSchema
+    columns: Dict[str, List[Any]]
+
+    @property
+    def num_rows(self) -> int:
+        first = self.schema.column_names[0]
+        return len(self.columns[first])
+
+    def row(self, index: int) -> Dict[str, Any]:
+        return {name: self.columns[name][index] for name in self.schema.column_names}
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory size (8 bytes per scalar, strings by
+        length), used to scale I/O stage durations."""
+        total = 0
+        for col in self.schema.columns:
+            values = self.columns[col.name]
+            if col.kind == ColumnKind.STRING:
+                total += sum(len(v) for v in values if v is not None)
+            else:
+                total += 8 * sum(1 for v in values if v is not None)
+        return total
+
+    def distinct_count(self, column: str) -> int:
+        values = self.columns[column]
+        return len({v for v in values if v is not None})
+
+
+class DatasetGenerator:
+    """Deterministic generator for one schema."""
+
+    def __init__(self, schema: TableSchema, seed: int = 2025) -> None:
+        self.schema = schema
+        self.streams = RngStreams(seed).spawn(schema.name)
+        self._zipf_cache: Dict[str, ZipfSampler] = {}
+
+    def _value_for(self, col: Column, row_index: int) -> Optional[Any]:
+        rng = self.streams.stream(col.name)
+        if col.null_fraction > 0 and rng.random() < col.null_fraction:
+            return None
+        domain = col.distinct_values
+        if domain is not None and col.zipf_skew > 0:
+            sampler = self._zipf_cache.get(col.name)
+            if sampler is None:
+                sampler = ZipfSampler(domain, col.zipf_skew)
+                self._zipf_cache[col.name] = sampler
+            ordinal = sampler.sample(rng) - 1
+        elif domain is not None:
+            ordinal = rng.randrange(domain)
+        else:
+            ordinal = row_index
+
+        if col.kind == ColumnKind.INT64:
+            return ordinal if domain is not None else row_index
+        if col.kind == ColumnKind.DOUBLE:
+            return round(rng.uniform(0.0, 1000.0), 4)
+        if col.kind == ColumnKind.BOOL:
+            return rng.random() < 0.5
+        if col.kind == ColumnKind.TIMESTAMP:
+            return _EPOCH_2026 + rng.randrange(86_400 * 30)
+        if col.kind == ColumnKind.STRING:
+            return self._string_value(col, ordinal)
+        raise ValueError(f"unhandled column kind {col.kind}")
+
+    def _string_value(self, col: Column, ordinal: int) -> str:
+        # Deterministic per-ordinal string so distinct counts hold.
+        rng = self.streams.spawn(f"strings:{col.name}:{ordinal}").stream("v")
+        length = max(1, col.avg_string_len + rng.randint(-4, 4))
+        alphabet = string.ascii_lowercase + string.digits
+        return "".join(rng.choice(alphabet) for _ in range(length))
+
+    def generate(self, num_rows: int) -> GeneratedTable:
+        """Generate ``num_rows`` rows of columnar data."""
+        if num_rows < 0:
+            raise ValueError("num_rows must be non-negative")
+        columns: Dict[str, List[Any]] = {c.name: [] for c in self.schema.columns}
+        for row_index in range(num_rows):
+            for col in self.schema.columns:
+                columns[col.name].append(self._value_for(col, row_index))
+        return GeneratedTable(schema=self.schema, columns=columns)

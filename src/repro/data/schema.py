@@ -1,0 +1,113 @@
+"""Declarative table schemas with cardinality control."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+class ColumnKind(enum.Enum):
+    """Column data types the generator supports."""
+
+    INT64 = "int64"
+    DOUBLE = "double"
+    STRING = "string"
+    BOOL = "bool"
+    TIMESTAMP = "timestamp"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a type plus distributional knobs.
+
+    ``distinct_values`` bounds the value domain (None = unbounded);
+    ``zipf_skew`` > 0 makes popular values dominate, matching the
+    skewed cardinality of warehouse fact tables; ``null_fraction``
+    injects NULLs.
+    """
+
+    name: str
+    kind: ColumnKind
+    distinct_values: Optional[int] = None
+    zipf_skew: float = 0.0
+    null_fraction: float = 0.0
+    avg_string_len: int = 24
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if self.distinct_values is not None and self.distinct_values < 1:
+            raise ValueError(f"{self.name}: distinct_values must be >= 1")
+        if self.zipf_skew < 0:
+            raise ValueError(f"{self.name}: zipf_skew must be non-negative")
+        if not 0.0 <= self.null_fraction < 1.0:
+            raise ValueError(f"{self.name}: null_fraction must be in [0, 1)")
+        if self.avg_string_len < 1:
+            raise ValueError(f"{self.name}: avg_string_len must be >= 1")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered set of columns."""
+
+    name: str
+    columns: Sequence[Column]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("table name must be non-empty")
+        if not self.columns:
+            raise ValueError("schema needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate column names")
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    @property
+    def column_names(self) -> Sequence[str]:
+        return [c.name for c in self.columns]
+
+
+def warehouse_fact_schema() -> TableSchema:
+    """The representative fact-table schema SparkBench scans.
+
+    Mirrors the shape of an ad-events fact table: high-cardinality ids,
+    skewed dimension keys, metrics, and a flag column.
+    """
+    return TableSchema(
+        name="events_fact",
+        columns=[
+            Column("event_id", ColumnKind.INT64),
+            Column("user_id", ColumnKind.INT64, distinct_values=1_000_000,
+                   zipf_skew=0.8),
+            Column("campaign_id", ColumnKind.INT64, distinct_values=10_000,
+                   zipf_skew=1.1),
+            Column("region", ColumnKind.STRING, distinct_values=64,
+                   zipf_skew=0.9, avg_string_len=8),
+            Column("event_time", ColumnKind.TIMESTAMP),
+            Column("spend", ColumnKind.DOUBLE, null_fraction=0.02),
+            Column("clicks", ColumnKind.INT64, distinct_values=100,
+                   zipf_skew=1.3),
+            Column("is_conversion", ColumnKind.BOOL),
+        ],
+    )
+
+
+def warehouse_dim_schema() -> TableSchema:
+    """The campaign dimension table SparkBench joins against."""
+    return TableSchema(
+        name="campaign_dim",
+        columns=[
+            Column("campaign_id", ColumnKind.INT64),
+            Column("advertiser", ColumnKind.STRING, distinct_values=2_000,
+                   zipf_skew=0.7, avg_string_len=16),
+            Column("budget", ColumnKind.DOUBLE),
+            Column("active", ColumnKind.BOOL),
+        ],
+    )

@@ -1,0 +1,39 @@
+"""Datacenter-tax libraries and accounting.
+
+The "datacenter tax" — RPC, compression, serialization, hashing,
+crypto, memory operations, thread management — consumes 18-82% of CPU
+cycles across Meta's fleet (Section 3.2, Figure 12).  This package
+provides real, executable implementations of each tax category (used
+by the microbenchmarks and the workload payload paths) and the cycle
+accounting that reproduces Figure 12's application-logic vs tax
+breakdown.
+"""
+
+from repro.dctax.compression import (
+    CompressionCodec,
+    SnappyLikeCodec,
+    ZlibCodec,
+    get_codec,
+)
+from repro.dctax.hashing import fingerprint64, hash_bytes, consistent_bucket
+from repro.dctax.serialization import serialize_record, deserialize_record
+from repro.dctax.crypto import TlsSessionModel
+from repro.dctax.memory_ops import checked_copy, scatter_gather
+from repro.dctax.accounting import CycleAccountant, TaxBreakdown
+
+__all__ = [
+    "CompressionCodec",
+    "ZlibCodec",
+    "SnappyLikeCodec",
+    "get_codec",
+    "hash_bytes",
+    "fingerprint64",
+    "consistent_bucket",
+    "serialize_record",
+    "deserialize_record",
+    "TlsSessionModel",
+    "checked_copy",
+    "scatter_gather",
+    "CycleAccountant",
+    "TaxBreakdown",
+]

@@ -1,0 +1,63 @@
+"""Cycle accounting: application logic vs datacenter tax.
+
+Reproduces Figure 12's breakdown of CPU cycles across hot functions.
+A :class:`CycleAccountant` charges cycles to named categories as a
+workload runs; :class:`TaxBreakdown` summarizes the result in the
+paper's application-vs-tax terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.uarch.characteristics import TaxProfile
+
+
+@dataclass
+class CycleAccountant:
+    """Accumulates cycles per category during a run."""
+
+    cycles: Dict[str, float] = field(default_factory=dict)
+
+    def charge(self, category: str, amount: float) -> None:
+        """Add ``amount`` cycles to ``category`` (``app:`` prefix =
+        application logic, anything else = tax)."""
+        if amount < 0:
+            raise ValueError("cycle amounts must be non-negative")
+        self.cycles[category] = self.cycles.get(category, 0.0) + amount
+
+    def charge_profile(self, profile: TaxProfile, total_cycles: float) -> None:
+        """Distribute ``total_cycles`` according to a tax profile."""
+        if total_cycles < 0:
+            raise ValueError("total_cycles must be non-negative")
+        for category, share in profile.shares.items():
+            if share > 0:
+                self.charge(category, total_cycles * share)
+
+    def breakdown(self) -> "TaxBreakdown":
+        total = sum(self.cycles.values())
+        if total <= 0:
+            return TaxBreakdown(shares={}, app_fraction=0.0, tax_fraction=0.0)
+        shares = {k: v / total for k, v in self.cycles.items()}
+        tax = sum(v for k, v in shares.items() if not k.startswith("app:"))
+        return TaxBreakdown(
+            shares=shares, app_fraction=1.0 - tax, tax_fraction=tax
+        )
+
+
+@dataclass(frozen=True)
+class TaxBreakdown:
+    """Normalized cycle shares with app/tax rollups."""
+
+    shares: Dict[str, float]
+    app_fraction: float
+    tax_fraction: float
+
+    def share(self, category: str) -> float:
+        return self.shares.get(category, 0.0)
+
+    def top_categories(self, count: int = 5) -> Dict[str, float]:
+        """The ``count`` largest categories, by share."""
+        ordered = sorted(self.shares.items(), key=lambda kv: -kv[1])
+        return dict(ordered[:count])

@@ -1,0 +1,164 @@
+"""Compression codecs.
+
+Production uses zstd and Snappy; here the heavy codec is backed by
+zlib (stdlib) and the light codec is a real LZ77-family implementation
+in the spirit of Snappy — fast, byte-oriented, favouring speed over
+ratio.  Both satisfy the same :class:`CompressionCodec` interface and
+round-trip losslessly, which property tests verify.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+import zlib
+from typing import Dict
+
+
+class CompressionError(Exception):
+    """Raised on corrupt compressed data."""
+
+
+class CompressionCodec(abc.ABC):
+    """Interface shared by all codecs."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` losslessly."""
+
+    @abc.abstractmethod
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+
+    def ratio(self, data: bytes) -> float:
+        """Compression ratio (original / compressed); >= values are better."""
+        if not data:
+            return 1.0
+        return len(data) / max(1, len(self.compress(data)))
+
+
+class ZlibCodec(CompressionCodec):
+    """Deflate-backed codec standing in for zstd."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError("zlib level must be in 1..9")
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise CompressionError(str(exc)) from exc
+
+
+class SnappyLikeCodec(CompressionCodec):
+    """A real greedy LZ77 codec with Snappy-style framing.
+
+    Format: a u32 uncompressed length, then a sequence of tagged
+    elements — literals (tag 0: u16 length + bytes) and copies (tag 1:
+    u16 offset + u16 length).  Matching uses a 4-byte-prefix hash table
+    and greedy extension, the same strategy Snappy uses.
+    """
+
+    name = "snappy-like"
+    _MIN_MATCH = 4
+
+    def compress(self, data: bytes) -> bytes:
+        out = bytearray(struct.pack("!I", len(data)))
+        n = len(data)
+        table: Dict[bytes, int] = {}
+        i = 0
+        literal_start = 0
+
+        def flush_literal(end: int) -> None:
+            start = literal_start
+            while start < end:
+                chunk = data[start : min(end, start + 0xFFFF)]
+                out.append(0)
+                out.extend(struct.pack("!H", len(chunk)))
+                out.extend(chunk)
+                start += len(chunk)
+
+        while i + self._MIN_MATCH <= n:
+            key = data[i : i + self._MIN_MATCH]
+            candidate = table.get(key)
+            table[key] = i
+            if candidate is not None and i - candidate <= 0xFFFF:
+                # Extend the match greedily.
+                length = self._MIN_MATCH
+                max_len = min(n - i, 0xFFFF)
+                while (
+                    length < max_len
+                    and data[candidate + length] == data[i + length]
+                ):
+                    length += 1
+                flush_literal(i)
+                out.append(1)
+                out.extend(struct.pack("!HH", i - candidate, length))
+                i += length
+                literal_start = i
+            else:
+                i += 1
+        flush_literal(n)
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        if len(data) < 4:
+            raise CompressionError("truncated header")
+        (expected_len,) = struct.unpack("!I", data[:4])
+        out = bytearray()
+        pos = 4
+        n = len(data)
+        while pos < n:
+            tag = data[pos]
+            pos += 1
+            if tag == 0:
+                if pos + 2 > n:
+                    raise CompressionError("truncated literal header")
+                (length,) = struct.unpack("!H", data[pos : pos + 2])
+                pos += 2
+                if pos + length > n:
+                    raise CompressionError("truncated literal body")
+                out.extend(data[pos : pos + length])
+                pos += length
+            elif tag == 1:
+                if pos + 4 > n:
+                    raise CompressionError("truncated copy element")
+                offset, length = struct.unpack("!HH", data[pos : pos + 4])
+                pos += 4
+                if offset == 0 or offset > len(out):
+                    raise CompressionError(f"bad copy offset {offset}")
+                start = len(out) - offset
+                # Overlapping copies are legal (run-length encoding).
+                for k in range(length):
+                    out.append(out[start + k])
+            else:
+                raise CompressionError(f"unknown element tag {tag}")
+        if len(out) != expected_len:
+            raise CompressionError(
+                f"length mismatch: header says {expected_len}, got {len(out)}"
+            )
+        return bytes(out)
+
+
+_CODECS = {
+    "zlib": ZlibCodec,
+    "snappy-like": SnappyLikeCodec,
+}
+
+
+def get_codec(name: str) -> CompressionCodec:
+    """Instantiate a codec by name (``zlib`` or ``snappy-like``)."""
+    try:
+        return _CODECS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_CODECS))
+        raise KeyError(f"unknown codec {name!r}; known: {known}") from None

@@ -1,0 +1,85 @@
+"""Crypto tax: a TLS-record model in the style of Fizz.
+
+FeedSim's tax stack includes TLS (OpenSSL/libsodium/Fizz).  This model
+performs real work on the record path — HKDF-style key derivation and
+HMAC-based record protection via hashlib — so the crypto tax is
+executable and measurable without a full TLS implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+
+
+class CryptoError(Exception):
+    """Raised on authentication failure."""
+
+
+def hkdf_extract_expand(secret: bytes, salt: bytes, length: int = 32) -> bytes:
+    """HKDF (RFC 5869) with SHA-256: extract then expand to ``length``."""
+    if length <= 0 or length > 255 * 32:
+        raise ValueError("length out of HKDF range")
+    prk = hmac.new(salt or b"\x00" * 32, secret, hashlib.sha256).digest()
+    blocks = []
+    prev = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        prev = hmac.new(prk, prev + struct.pack("!B", counter), hashlib.sha256).digest()
+        blocks.append(prev)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+class TlsSessionModel:
+    """Record protection for one session: seal/open with HMAC-SHA256.
+
+    A stand-in for AEAD: the MAC is real, the "encryption" is a keyed
+    XOR stream (keystream from HKDF over the sequence number), which
+    costs realistic per-byte work while staying dependency-free.
+    """
+
+    def __init__(self, master_secret: bytes) -> None:
+        if len(master_secret) < 16:
+            raise ValueError("master_secret must be at least 16 bytes")
+        self._write_key = hkdf_extract_expand(master_secret, b"write", 32)
+        self._mac_key = hkdf_extract_expand(master_secret, b"mac", 32)
+        self._seq = 0
+
+    def _keystream(self, seq: int, length: int) -> bytes:
+        blocks = []
+        counter = 0
+        while sum(len(b) for b in blocks) < length:
+            blocks.append(
+                hashlib.sha256(
+                    self._write_key + struct.pack("!QI", seq, counter)
+                ).digest()
+            )
+            counter += 1
+        return b"".join(blocks)[:length]
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Protect one record: returns seq || ciphertext || mac."""
+        seq = self._seq
+        self._seq += 1
+        stream = self._keystream(seq, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        mac = hmac.new(
+            self._mac_key, struct.pack("!Q", seq) + ciphertext, hashlib.sha256
+        ).digest()
+        return struct.pack("!Q", seq) + ciphertext + mac
+
+    def open(self, record: bytes) -> bytes:
+        """Verify and decrypt one record produced by :meth:`seal`."""
+        if len(record) < 8 + 32:
+            raise CryptoError("record too short")
+        seq = struct.unpack("!Q", record[:8])[0]
+        ciphertext, mac = record[8:-32], record[-32:]
+        expected = hmac.new(
+            self._mac_key, record[:8] + ciphertext, hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(mac, expected):
+            raise CryptoError("record authentication failed")
+        stream = self._keystream(seq, len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))

@@ -1,0 +1,58 @@
+"""Hashing tax: fast non-cryptographic hashes and consistent bucketing.
+
+Production caches hash every key (shard selection, cache indexing);
+the microbenchmarks measure these functions and TaoBench uses them on
+its key path.  ``fingerprint64`` is a real FNV-1a-with-avalanche
+implementation, ``consistent_bucket`` is Lamping & Veach's jump
+consistent hash — the algorithm used for shard placement at scale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fingerprint64(data: bytes) -> int:
+    """64-bit FNV-1a with a final avalanche mix (xor-shift-multiply)."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    # Avalanche: based on splitmix64's finalizer.
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK64
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & _MASK64
+    h ^= h >> 31
+    return h
+
+
+def hash_bytes(data: bytes, algorithm: str = "sha256") -> bytes:
+    """Cryptographic digest via hashlib (the heavy hashing tax path)."""
+    try:
+        digest = hashlib.new(algorithm)
+    except ValueError as exc:
+        raise ValueError(f"unknown hash algorithm {algorithm!r}") from exc
+    digest.update(data)
+    return digest.digest()
+
+
+def consistent_bucket(key: int, num_buckets: int) -> int:
+    """Jump consistent hash: map ``key`` to a bucket in [0, num_buckets).
+
+    Guarantees that growing the bucket count moves only ~1/n of keys —
+    the property shard placement relies on.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    key &= _MASK64
+    b, j = -1, 0
+    while j < num_buckets:
+        b = j
+        key = (key * 2862933555777941757 + 1) & _MASK64
+        j = int((b + 1) * (1 << 31) / ((key >> 33) + 1))
+    return b

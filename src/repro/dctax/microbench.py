@@ -1,0 +1,185 @@
+"""Datacenter-tax microbenchmarks.
+
+Section 3.2: "we model these functions as a set of microbenchmarks...
+if a server SKU performs poorly on them, it is likely to exhibit
+subpar performance for many applications."  Each microbenchmark here
+runs real code from this package over a deterministic payload and
+reports operations/second; ``benchmarks/test_tax_microbench.py`` wires
+them into pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.dctax.compression import SnappyLikeCodec, ZlibCodec
+from repro.dctax.crypto import TlsSessionModel
+from repro.dctax.hashing import consistent_bucket, fingerprint64, hash_bytes
+from repro.dctax.memory_ops import checked_copy, scatter_gather, split_at_offsets
+from repro.dctax.serialization import deserialize_record, serialize_record
+from repro.rpc.compact import decode_compact_struct, encode_compact_struct
+from repro.rpc.protocol import decode_message, encode_message
+
+
+def make_payload(size: int, seed: int = 7, entropy: float = 0.4) -> bytes:
+    """Deterministic mixed-entropy payload.
+
+    ``entropy`` controls the random-byte fraction; the rest is a
+    repeating template, giving compressors something realistic to find.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if not 0.0 <= entropy <= 1.0:
+        raise ValueError("entropy must be in [0, 1]")
+    rng = random.Random(seed)
+    template = b"the quick brown fox jumps over the lazy dog 0123456789 "
+    out = bytearray()
+    while len(out) < size:
+        if rng.random() < entropy:
+            out.extend(rng.randbytes(16))
+        else:
+            out.extend(template)
+    return bytes(out[:size])
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    name: str
+    operations: int
+    elapsed_seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.operations / self.elapsed_seconds
+
+
+def _timed(name: str, fn: Callable[[], None], operations: int) -> MicrobenchResult:
+    start = time.perf_counter()
+    fn()
+    return MicrobenchResult(name, operations, time.perf_counter() - start)
+
+
+def bench_rpc_roundtrip(iterations: int = 200, payload_size: int = 512) -> MicrobenchResult:
+    """Encode + decode a Thrift message per iteration."""
+    body = make_payload(payload_size).decode("latin-1")
+
+    def run() -> None:
+        for i in range(iterations):
+            wire = encode_message("getFeed", {1: i, 2: body, 3: [1, 2, 3]}, seqid=i)
+            decode_message(wire)
+
+    return _timed("rpc_roundtrip", run, iterations)
+
+
+def bench_rpc_compact(iterations: int = 300) -> MicrobenchResult:
+    """Encode + decode a compact-protocol struct per iteration."""
+    fields = {1: 123456, 2: "user_42", 3: [1, 2, 3, 4], 5: {"score": 87}}
+
+    def run() -> None:
+        for _ in range(iterations):
+            decode_compact_struct(encode_compact_struct(fields))
+
+    return _timed("rpc_compact", run, iterations)
+
+
+def bench_compression(
+    iterations: int = 20, payload_size: int = 16384, codec_name: str = "zlib"
+) -> MicrobenchResult:
+    """Compress + decompress a mixed-entropy buffer per iteration."""
+    codec = ZlibCodec() if codec_name == "zlib" else SnappyLikeCodec()
+    payload = make_payload(payload_size)
+
+    def run() -> None:
+        for _ in range(iterations):
+            codec.decompress(codec.compress(payload))
+
+    return _timed(f"compression_{codec.name}", run, iterations)
+
+
+def bench_hashing(iterations: int = 500, key_size: int = 64) -> MicrobenchResult:
+    """Fingerprint + shard-bucket a key per iteration."""
+    keys: List[bytes] = [make_payload(key_size, seed=i) for i in range(64)]
+
+    def run() -> None:
+        for i in range(iterations):
+            h = fingerprint64(keys[i % len(keys)])
+            consistent_bucket(h, 128)
+
+    return _timed("hashing", run, iterations)
+
+
+def bench_crypto_digest(iterations: int = 200, payload_size: int = 4096) -> MicrobenchResult:
+    """SHA-256 a buffer per iteration."""
+    payload = make_payload(payload_size)
+
+    def run() -> None:
+        for _ in range(iterations):
+            hash_bytes(payload, "sha256")
+
+    return _timed("crypto_digest", run, iterations)
+
+
+def bench_tls_record(iterations: int = 50, payload_size: int = 4096) -> MicrobenchResult:
+    """Seal + open a TLS record per iteration."""
+    session = TlsSessionModel(b"0123456789abcdef0123456789abcdef")
+    payload = make_payload(payload_size)
+
+    def run() -> None:
+        for _ in range(iterations):
+            session.open(session.seal(payload))
+
+    return _timed("tls_record", run, iterations)
+
+
+def bench_serialization(iterations: int = 200) -> MicrobenchResult:
+    """Serialize + deserialize a feed-story-like record per iteration."""
+    record = {
+        "story_id": 123456789,
+        "author": "user_42",
+        "ranking_score": 0.87,
+        "media_ids": [10, 20, 30, 40],
+        "flags": {"sponsored": False, "pinned": True},
+    }
+
+    def run() -> None:
+        for _ in range(iterations):
+            deserialize_record(serialize_record(record))
+
+    return _timed("serialization", run, iterations)
+
+
+def bench_memory_copy(iterations: int = 50, payload_size: int = 65536) -> MicrobenchResult:
+    """checked_copy + scatter/gather round trip per iteration."""
+    chunks = [make_payload(payload_size // 8, seed=i) for i in range(8)]
+
+    def run() -> None:
+        for _ in range(iterations):
+            joined, offsets = scatter_gather(chunks)
+            checked_copy(joined)
+            split_at_offsets(joined, offsets)
+
+    return _timed("memory_copy", run, iterations)
+
+
+#: Registry used by the CLI and the pytest-benchmark harness.
+ALL_MICROBENCHMARKS: Dict[str, Callable[[], MicrobenchResult]] = {
+    "rpc_roundtrip": bench_rpc_roundtrip,
+    "rpc_compact": bench_rpc_compact,
+    "compression_zlib": lambda: bench_compression(codec_name="zlib"),
+    "compression_snappy": lambda: bench_compression(codec_name="snappy-like"),
+    "hashing": bench_hashing,
+    "crypto_digest": bench_crypto_digest,
+    "tls_record": bench_tls_record,
+    "serialization": bench_serialization,
+    "memory_copy": bench_memory_copy,
+}
+
+
+def run_all() -> Dict[str, MicrobenchResult]:
+    """Run every tax microbenchmark once."""
+    return {name: fn() for name, fn in ALL_MICROBENCHMARKS.items()}

@@ -1,0 +1,47 @@
+"""Serialization tax helpers.
+
+Thin convenience layer over the Thrift codec in :mod:`repro.rpc`: turns
+arbitrary flat records into wire bytes and back.  The microbenchmarks
+measure this path, and workload models use it to produce realistic
+request/response byte sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.rpc.protocol import (
+    BinaryProtocolReader,
+    BinaryProtocolWriter,
+    read_struct_fields,
+    write_struct_fields,
+)
+
+
+def serialize_record(record: Dict[str, Any]) -> bytes:
+    """Serialize a flat record (str keys, scalar/list/dict values).
+
+    Field ids are assigned by sorted key order; the key table travels
+    in field 1 so deserialization is self-describing.
+    """
+    keys = sorted(record)
+    payload: Dict[int, Any] = {1: keys}
+    for index, key in enumerate(keys):
+        payload[index + 2] = record[key]
+    writer = BinaryProtocolWriter()
+    write_struct_fields(writer, payload)
+    return writer.getvalue()
+
+
+def deserialize_record(data: bytes) -> Dict[str, Any]:
+    """Invert :func:`serialize_record`."""
+    reader = BinaryProtocolReader(data)
+    fields = read_struct_fields(reader)
+    raw_keys = fields.get(1, [])
+    keys = [k.decode("utf-8") if isinstance(k, bytes) else k for k in raw_keys]
+    out: Dict[str, Any] = {}
+    for index, key in enumerate(keys):
+        if index + 2 in fields:
+            value = fields[index + 2]
+            out[key] = value
+    return out

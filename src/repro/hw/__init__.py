@@ -1,0 +1,35 @@
+"""Parametric server hardware models.
+
+The paper evaluates DCPerf on four generations of x86 production
+servers (Table 3), two candidate ARM SKUs (Table 4), and a prospective
+384-core SKU (Section 5.3).  This package models each server as a set
+of parameters — cores, SMT, cache hierarchy, memory bandwidth, network,
+frequency curve, and power envelope — that the microarchitecture model
+(:mod:`repro.uarch`) and the discrete-event workload models consume.
+"""
+
+from repro.hw.cache import CacheHierarchy, CacheLevel
+from repro.hw.cpu import CpuModel
+from repro.hw.frequency import FrequencyModel
+from repro.hw.memory import MemorySystem
+from repro.hw.power import PowerBreakdown, PowerModel
+from repro.hw.sku import (
+    SKU_REGISTRY,
+    ServerSku,
+    get_sku,
+    list_skus,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CpuModel",
+    "FrequencyModel",
+    "MemorySystem",
+    "PowerBreakdown",
+    "PowerModel",
+    "ServerSku",
+    "SKU_REGISTRY",
+    "get_sku",
+    "list_skus",
+]

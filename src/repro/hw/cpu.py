@@ -1,0 +1,79 @@
+"""CPU core and socket model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cache import CacheHierarchy
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """A CPU described by the parameters the uarch model consumes.
+
+    Attributes:
+        name: marketing-free identifier, e.g. ``"x86-gen2018"``.
+        arch: ``"x86"`` or ``"arm"``.
+        physical_cores: core count per server (all sockets combined).
+        smt: hardware threads per core (1 = SMT off / not present).
+        pipeline_width: issue slots per cycle per physical core; the
+            denominator of the TMAM slot accounting.
+        base_freq_ghz: guaranteed all-core frequency.
+        max_freq_ghz: best-case all-core turbo under light load.
+        caches: the cache hierarchy.
+        uarch_efficiency: a generation-quality scalar (1.0 = SKU1-era);
+            captures branch predictors, prefetchers, and other
+            improvements not modeled structurally.  Applied as a divisor
+            on stall penalties.
+        frontend_penalty_multiplier: scales the cost of every L1I miss.
+            1.0 for healthy designs; >1 models instruction-fetch
+            pathologies seen on early silicon (mis-tuned i-prefetch,
+            page-size blowups) — the mechanism behind SKU-B's collapse
+            on large-codebase web workloads in Section 5.1.
+    """
+
+    name: str
+    arch: str
+    physical_cores: int
+    smt: int
+    pipeline_width: int
+    base_freq_ghz: float
+    max_freq_ghz: float
+    caches: CacheHierarchy
+    uarch_efficiency: float = 1.0
+    frontend_penalty_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("x86", "arm"):
+            raise ValueError(f"unknown arch: {self.arch}")
+        if self.physical_cores < 1:
+            raise ValueError("physical_cores must be >= 1")
+        if self.smt not in (1, 2, 4):
+            raise ValueError("smt must be 1, 2, or 4")
+        if self.pipeline_width < 1:
+            raise ValueError("pipeline_width must be >= 1")
+        if not 0 < self.base_freq_ghz <= self.max_freq_ghz:
+            raise ValueError("need 0 < base_freq_ghz <= max_freq_ghz")
+        if self.uarch_efficiency <= 0:
+            raise ValueError("uarch_efficiency must be positive")
+        if self.frontend_penalty_multiplier < 1.0:
+            raise ValueError("frontend_penalty_multiplier must be >= 1.0")
+
+    @property
+    def logical_cores(self) -> int:
+        """Hardware threads visible to the OS."""
+        return self.physical_cores * self.smt
+
+    @property
+    def smt_throughput_factor(self) -> float:
+        """Aggregate throughput gain from running all SMT siblings.
+
+        Two hardware threads on one core do not double throughput; the
+        commonly observed gain on server workloads is ~25-35%.  SMT=1
+        yields 1.0 by definition.
+        """
+        if self.smt == 1:
+            return 1.0
+        if self.smt == 2:
+            return 1.30
+        return 1.45

@@ -1,0 +1,53 @@
+"""Main-memory system model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """DRAM capacity, peak bandwidth, and idle latency.
+
+    ``peak_bw_gbps`` bounds the memory-bandwidth figures (Figure 7 marks
+    the "Max System MemBW" ceiling); ``latency_ns`` feeds the backend-
+    stall cost of LLC misses.
+    """
+
+    capacity_gb: int
+    peak_bw_gbps: float
+    latency_ns: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb <= 0:
+            raise ValueError("capacity_gb must be positive")
+        if self.peak_bw_gbps <= 0:
+            raise ValueError("peak_bw_gbps must be positive")
+        if self.latency_ns <= 0:
+            raise ValueError("latency_ns must be positive")
+
+    def latency_cycles(self, freq_ghz: float) -> float:
+        """Memory latency expressed in core cycles at ``freq_ghz``."""
+        if freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        return self.latency_ns * freq_ghz
+
+    def bandwidth_pressure(self, demand_gbps: float) -> float:
+        """Fraction of peak bandwidth a demand level represents, in [0, ...].
+
+        Values approaching 1.0 mean queueing at the memory controller;
+        the uarch model inflates effective memory latency accordingly.
+        """
+        if demand_gbps < 0:
+            raise ValueError("demand_gbps must be non-negative")
+        return demand_gbps / self.peak_bw_gbps
+
+    def effective_latency_ns(self, demand_gbps: float) -> float:
+        """Latency inflated by bandwidth contention.
+
+        A standard closed-form queueing correction: latency grows as
+        ``1 / (1 - rho)`` (capped) as demand ``rho`` approaches peak
+        bandwidth.
+        """
+        rho = min(self.bandwidth_pressure(demand_gbps), 0.95)
+        return self.latency_ns / (1.0 - rho * 0.7)

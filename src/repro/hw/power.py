@@ -1,0 +1,145 @@
+"""Server power model.
+
+Figure 10 of the paper breaks measured wall power into four components
+— CPU core, SoC non-core (interconnect + memory controller), DRAM, and
+"other" (storage, NIC, BMC, fans) — each normalized to the server's
+total designed power.  This model reproduces that accounting:
+
+* **Core** power scales with utilization, frequency, and how much real
+  work retires per cycle (stalled cores clock-gate; compare mcf's low
+  core power to deepsjeng's high core power in Figure 10).
+* **SoC non-core** power scales with memory-bandwidth and network
+  activity through the on-die fabric.
+* **DRAM** power scales with memory bandwidth.
+* **Other** covers platform components.  The paper observes DCPerf
+  *underrepresents* this component relative to production (no real
+  backend traffic, logging, or storage churn on a benchmark box); the
+  ``platform_activity`` input captures that residual activity and is a
+  per-workload calibration value, not a derived one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Component power as fractions of designed server power."""
+
+    core: float
+    soc: float
+    dram: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.core + self.soc + self.dram + self.other
+
+    def watts(self, designed_power_w: float) -> float:
+        """Absolute wall power for a server with the given envelope."""
+        return self.total * designed_power_w
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "core": self.core,
+            "soc": self.soc,
+            "dram": self.dram,
+            "other": self.other,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Coefficients mapping activity levels to power fractions.
+
+    Defaults are calibrated so that SKU2 reproduces the Figure 10
+    breakdown: production workloads total ~87%, DCPerf ~84%, and SPEC
+    ~78% of designed power.  Per-cycle core activity has three drivers:
+    retiring density, wide-vector work, and *kernel time* — syscall and
+    interrupt paths move a lot of state per cycle, which is why
+    datacenter cores out-draw SPEC cores despite lower utilization and
+    frequency (the paper: SPEC "does not sufficiently exercise the
+    diverse components in CPUs").
+    """
+
+    core_idle: float = 0.06
+    core_active: float = 0.40
+    activity_base: float = 0.384
+    activity_retire: float = 0.15
+    activity_vector: float = 0.60
+    activity_kernel: float = 1.90
+    soc_idle: float = 0.10
+    soc_bandwidth: float = 0.30
+    soc_network: float = 0.08
+    dram_idle: float = 0.025
+    dram_bandwidth: float = 0.135
+    other_idle: float = 0.145
+    other_activity: float = 0.15
+
+    def breakdown(
+        self,
+        cpu_util: float,
+        freq_rel: float,
+        retiring_frac: float,
+        membw_frac: float,
+        network_util: float,
+        platform_activity: float,
+        kernel_frac: float = 0.0,
+        vector_intensity: float = 0.0,
+    ) -> PowerBreakdown:
+        """Compute the component power fractions for a steady-state run.
+
+        Args:
+            cpu_util: total CPU utilization in [0, 1].
+            freq_rel: effective frequency relative to max turbo, (0, 1].
+            retiring_frac: TMAM retiring fraction in [0, 1]; proxies
+                per-cycle switching activity.
+            membw_frac: memory bandwidth demand / peak, in [0, 1].
+            network_util: NIC utilization in [0, 1].
+            platform_activity: residual storage/NIC/BMC/fan activity in
+                [0, 1] (a per-workload calibration input).
+            kernel_frac: fraction of busy cycles in kernel mode.
+            vector_intensity: wide-vector instruction share in [0, 1].
+        """
+        for label, value in (
+            ("cpu_util", cpu_util),
+            ("retiring_frac", retiring_frac),
+            ("membw_frac", membw_frac),
+            ("network_util", network_util),
+            ("platform_activity", platform_activity),
+            ("kernel_frac", kernel_frac),
+            ("vector_intensity", vector_intensity),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} out of range: {value}")
+        if not 0.0 < freq_rel <= 1.0:
+            raise ValueError(f"freq_rel out of range: {freq_rel}")
+
+        activity = (
+            self.activity_base
+            + self.activity_retire * (retiring_frac / 0.40)
+            + self.activity_vector * vector_intensity
+            + self.activity_kernel * kernel_frac
+        )
+        core = self.core_idle + self.core_active * cpu_util * freq_rel * min(
+            activity, 1.6
+        )
+        soc = (
+            self.soc_idle
+            + self.soc_bandwidth * membw_frac
+            + self.soc_network * network_util
+        )
+        dram = self.dram_idle + self.dram_bandwidth * membw_frac
+        other = self.other_idle + self.other_activity * platform_activity
+        total = core + soc + dram + other
+        if total > 1.0:
+            # Designed power is a hard envelope: the platform power-caps
+            # (RAPL-style) rather than exceed it.
+            scale = 1.0 / total
+            core, soc, dram, other = (
+                core * scale, soc * scale, dram * scale, other * scale
+            )
+        return PowerBreakdown(core=core, soc=soc, dram=dram, other=other)

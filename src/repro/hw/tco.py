@@ -1,0 +1,150 @@
+"""Total cost of ownership and Perf/$ (Section 2.3).
+
+The paper: "TCO consists of two components: capital expenditures
+(Capex) and operating expenses (Opex)... DCPerf is designed to capture
+both performance per unit of power consumption (Perf/Watt) and
+performance per TCO (Perf/$).  While higher values of both metrics are
+preferred, they are not always aligned."
+
+This module implements that accounting: amortized capex plus
+power-driven opex per server-year, the budgeted-power concept (power
+provisioned for the disaster-spike load level rather than TDP), and the
+Perf/Watt-vs-Perf/$ comparison that drives the CPU X vs CPU Y
+trade-off discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Hours in a year, for energy cost integration.
+HOURS_PER_YEAR = 8766.0
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Cost parameters for a datacenter deployment.
+
+    Attributes:
+        server_price_usd: purchase price of one server (Capex).
+        amortization_years: depreciation horizon for Capex.
+        energy_cost_per_kwh: electricity price (Opex).
+        power_overhead_pue: datacenter PUE — every server watt costs
+            this many facility watts (cooling, distribution).
+        provisioning_cost_per_watt_year: cost of *reserving* a watt of
+            datacenter power capacity for a year (the scarce resource
+            Section 2.3 describes); charged on budgeted power.
+        maintenance_fraction: annual maintenance as a fraction of
+            server price.
+    """
+
+    server_price_usd: float
+    amortization_years: float = 4.0
+    energy_cost_per_kwh: float = 0.08
+    power_overhead_pue: float = 1.25
+    provisioning_cost_per_watt_year: float = 2.0
+    maintenance_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.server_price_usd <= 0:
+            raise ValueError("server_price_usd must be positive")
+        if self.amortization_years <= 0:
+            raise ValueError("amortization_years must be positive")
+        if self.power_overhead_pue < 1.0:
+            raise ValueError("PUE must be >= 1.0")
+        if not 0.0 <= self.maintenance_fraction < 1.0:
+            raise ValueError("maintenance_fraction must be in [0, 1)")
+
+    def capex_per_year(self) -> float:
+        """Amortized purchase cost per server-year."""
+        return self.server_price_usd / self.amortization_years
+
+    def opex_per_year(
+        self, average_power_w: float, budgeted_power_w: float
+    ) -> float:
+        """Operating cost per server-year.
+
+        ``average_power_w`` drives the energy bill; ``budgeted_power_w``
+        — the power reserved for spike loads (Section 2.3: budgeted
+        power, not TDP) — drives the capacity-provisioning cost.
+        """
+        if average_power_w < 0 or budgeted_power_w < average_power_w:
+            raise ValueError(
+                "need 0 <= average_power_w <= budgeted_power_w"
+            )
+        energy_kwh = average_power_w * self.power_overhead_pue * HOURS_PER_YEAR / 1e3
+        energy_cost = energy_kwh * self.energy_cost_per_kwh
+        provisioning = budgeted_power_w * self.provisioning_cost_per_watt_year
+        maintenance = self.server_price_usd * self.maintenance_fraction
+        return energy_cost + provisioning + maintenance
+
+    def tco_per_year(
+        self, average_power_w: float, budgeted_power_w: float
+    ) -> float:
+        """Capex + Opex per server-year."""
+        return self.capex_per_year() + self.opex_per_year(
+            average_power_w, budgeted_power_w
+        )
+
+
+def budgeted_power_w(designed_power_w: float, spike_fraction: float = 0.90) -> float:
+    """Power reserved per server: the worst *practical* load.
+
+    Section 2.3: budgeted power "reflects power consumption under high
+    but practical loads", typically when servers absorb a spike because
+    another region failed — below TDP, above the steady-state draw.
+    """
+    if designed_power_w <= 0:
+        raise ValueError("designed_power_w must be positive")
+    if not 0.0 < spike_fraction <= 1.0:
+        raise ValueError("spike_fraction must be in (0, 1]")
+    return designed_power_w * spike_fraction
+
+
+@dataclass(frozen=True)
+class CostEffectiveness:
+    """Perf/Watt and Perf/$ for one (SKU, workload) pairing."""
+
+    sku: str
+    performance: float
+    average_power_w: float
+    tco_per_year_usd: float
+
+    @property
+    def perf_per_watt(self) -> float:
+        return self.performance / self.average_power_w
+
+    @property
+    def perf_per_dollar(self) -> float:
+        """Performance per TCO dollar-year (the Perf/$ metric)."""
+        return self.performance / self.tco_per_year_usd
+
+    def normalized_to(self, baseline: "CostEffectiveness") -> Dict[str, float]:
+        """Both metrics relative to a baseline machine."""
+        return {
+            "perf": self.performance / baseline.performance,
+            "perf_per_watt": self.perf_per_watt / baseline.perf_per_watt,
+            "perf_per_dollar": self.perf_per_dollar / baseline.perf_per_dollar,
+        }
+
+
+def evaluate_cost_effectiveness(
+    sku_name: str,
+    performance: float,
+    average_power_w: float,
+    designed_power_w: float,
+    tco_model: TcoModel,
+    spike_fraction: float = 0.90,
+) -> CostEffectiveness:
+    """Build the Perf/Watt + Perf/$ record for one measured run."""
+    if performance <= 0:
+        raise ValueError("performance must be positive")
+    budgeted = budgeted_power_w(designed_power_w, spike_fraction)
+    tco = tco_model.tco_per_year(average_power_w, budgeted)
+    return CostEffectiveness(
+        sku=sku_name,
+        performance=performance,
+        average_power_w=average_power_w,
+        tco_per_year_usd=tco,
+    )

@@ -1,0 +1,31 @@
+"""Load generation and latency measurement.
+
+Models DCPerf's client components (Siege, Memtier, OLDISim's load
+driver): open-loop Poisson arrival generators, closed-loop concurrent
+clients, a latency recorder with exact percentiles, and the SLO search
+that finds the maximum sustainable request rate under a latency bound
+(FeedSim's "max RPS with p95 < 500ms" methodology).
+"""
+
+from repro.loadgen.recorder import LatencyRecorder
+from repro.loadgen.generators import ClosedLoopGenerator, OpenLoopGenerator
+from repro.loadgen.slo import SLO, SloSearchResult, find_max_load
+from repro.loadgen.trace import (
+    Trace,
+    TraceRecord,
+    TraceReplayGenerator,
+    synthesize_production_trace,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "SLO",
+    "SloSearchResult",
+    "find_max_load",
+    "Trace",
+    "TraceRecord",
+    "TraceReplayGenerator",
+    "synthesize_production_trace",
+]

@@ -1,0 +1,130 @@
+"""Open- and closed-loop request generators as simulation processes.
+
+A *handler* is a generator function ``handler(request)`` that performs
+the request's work inside the simulation (queueing on thread pools,
+executing CPU bursts) and returns when the response is ready.  The
+generators time each request into a :class:`LatencyRecorder`.
+
+Open-loop (Poisson arrivals at a fixed offered rate) models Siege and
+Memtier in rate mode; closed-loop (N concurrent clients with think
+time) models connection-bound clients.  The distinction matters for
+tail latency: open-loop keeps arriving during a stall, closed-loop
+self-throttles — production traffic is open-loop, so DCPerf's SLO
+searches use it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.loadgen.recorder import LatencyRecorder
+from repro.sim.engine import Environment
+
+
+@dataclass
+class Request:
+    """One request flowing through a workload model."""
+
+    request_id: int
+    created_at: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+#: Handler signature: a generator that completes when the response is sent.
+Handler = Callable[[Request], Generator]
+
+
+class OpenLoopGenerator:
+    """Poisson arrivals at ``rate_rps`` simulated requests per second.
+
+    ``batch`` lets one simulated request stand for ``batch`` production
+    requests (service times must already include the batch factor);
+    reported request counts are simulation-level.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        rate_rps: float,
+        handler: Handler,
+        recorder: LatencyRecorder,
+        rng: random.Random,
+        timeout_seconds: Optional[float] = None,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        self.env = env
+        self.rate_rps = rate_rps
+        self.handler = handler
+        self.recorder = recorder
+        self.rng = rng
+        self.timeout_seconds = timeout_seconds
+        self.issued = 0
+        self.completed = 0
+        self._process = None
+
+    def start(self) -> None:
+        self._process = self.env.process(self._arrival_loop())
+
+    def _arrival_loop(self) -> Generator:
+        while True:
+            yield self.env.timeout(self.rng.expovariate(self.rate_rps))
+            request = Request(request_id=self.issued, created_at=self.env.now)
+            self.issued += 1
+            self.env.process(self._dispatch(request))
+
+    def _dispatch(self, request: Request) -> Generator:
+        start = self.env.now
+        yield from self.handler(request)
+        latency = self.env.now - start
+        if self.timeout_seconds is not None and latency > self.timeout_seconds:
+            self.recorder.record_error()
+        else:
+            self.recorder.record(latency)
+        self.completed += 1
+
+
+class ClosedLoopGenerator:
+    """``concurrency`` clients, each issuing the next request after the
+    previous response plus an exponential think time."""
+
+    def __init__(
+        self,
+        env: Environment,
+        concurrency: int,
+        handler: Handler,
+        recorder: LatencyRecorder,
+        rng: random.Random,
+        think_time_seconds: float = 0.0,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if think_time_seconds < 0:
+            raise ValueError("think_time_seconds must be non-negative")
+        self.env = env
+        self.concurrency = concurrency
+        self.handler = handler
+        self.recorder = recorder
+        self.rng = rng
+        self.think_time_seconds = think_time_seconds
+        self.issued = 0
+        self.completed = 0
+
+    def start(self) -> None:
+        for _ in range(self.concurrency):
+            self.env.process(self._client_loop())
+
+    def _client_loop(self) -> Generator:
+        while True:
+            if self.think_time_seconds > 0:
+                yield self.env.timeout(
+                    self.rng.expovariate(1.0 / self.think_time_seconds)
+                )
+            request = Request(request_id=self.issued, created_at=self.env.now)
+            self.issued += 1
+            start = self.env.now
+            yield from self.handler(request)
+            self.recorder.record(self.env.now - start)
+            self.completed += 1

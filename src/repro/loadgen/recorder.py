@@ -1,0 +1,89 @@
+"""Latency recording with exact percentiles.
+
+Collects per-request latencies and computes percentiles by sorting
+(exact, not approximated — sample counts in the simulations are small
+enough that a t-digest would be overkill and less testable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class LatencyRecorder:
+    """Accumulates latencies (seconds) and answers percentile queries."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+        self.errors = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, latency_seconds: float) -> None:
+        if latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples.append(latency_seconds)
+        self._sorted = False
+
+    def record_error(self) -> None:
+        """Count a failed request (timeouts, 5xx) without a latency."""
+        self.errors += 1
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via linear interpolation; p in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        self._ensure_sorted()
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = p / 100.0 * (len(self._samples) - 1)
+        lower = int(rank)
+        upper = min(lower + 1, len(self._samples) - 1)
+        weight = rank - lower
+        return self._samples[lower] * (1.0 - weight) + self._samples[upper] * weight
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def error_rate(self) -> float:
+        total = len(self._samples) + self.errors
+        if total == 0:
+            return 0.0
+        return self.errors / total
+
+    def summary(self) -> Dict[str, float]:
+        """The latency distribution DCPerf reports per benchmark."""
+        if not self._samples:
+            return {"count": 0, "errors": self.errors}
+        return {
+            "count": len(self._samples),
+            "errors": self.errors,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sorted = True
+        self.errors = 0

@@ -1,0 +1,25 @@
+"""Media-processing substrate (the ffmpeg/x264 stand-in).
+
+VideoTranscodeBench's production counterpart resizes and encodes real
+video (the Netflix "El Fuente" sequence) with ffmpeg/x264/svt-av1.
+This package provides an executable equivalent at toy scale: a
+synthetic test-sequence generator, bilinear resizing, and a real
+block-transform encoder (8x8 DCT, quantization, zigzag run-length
+entropy coding) with a matching decoder — enough to validate the full
+resize-ladder + encode pipeline end to end and to measure real
+quality/bitrate trade-offs across the benchmark's three presets.
+"""
+
+from repro.media.frames import FrameSequence, synthetic_sequence
+from repro.media.codec import BlockCodec, EncodedFrame, psnr
+from repro.media.pipeline import TranscodeResult, transcode_ladder
+
+__all__ = [
+    "FrameSequence",
+    "synthetic_sequence",
+    "BlockCodec",
+    "EncodedFrame",
+    "psnr",
+    "TranscodeResult",
+    "transcode_ladder",
+]

@@ -1,0 +1,96 @@
+"""Synthetic test sequences (the "El Fuente" stand-in).
+
+Generates deterministic grayscale frames with the features an encoder
+has to work for: smooth gradients (cheap), moving high-contrast objects
+(motion), and a textured region (expensive detail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrameSequence:
+    """A stack of grayscale frames, shape (frames, height, width)."""
+
+    frames: np.ndarray
+    fps: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.frames.ndim != 3:
+            raise ValueError("frames must be a (n, h, w) array")
+        if self.frames.dtype != np.uint8:
+            raise ValueError("frames must be uint8 luma samples")
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    @property
+    def num_frames(self) -> int:
+        return self.frames.shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.frames.shape[1]
+
+    @property
+    def width(self) -> int:
+        return self.frames.shape[2]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.frames)
+
+
+def synthetic_sequence(
+    num_frames: int = 12,
+    height: int = 96,
+    width: int = 160,
+    seed: int = 7,
+) -> FrameSequence:
+    """Build a deterministic sequence with gradient + motion + texture."""
+    if num_frames < 1 or height < 16 or width < 16:
+        raise ValueError("need >= 1 frame of at least 16x16")
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:height, 0:width]
+    gradient = (xs / max(1, width - 1) * 160.0 + ys / max(1, height - 1) * 60.0)
+
+    # A fixed texture patch in the lower-right quadrant.
+    texture = rng.integers(0, 60, size=(height, width)).astype(np.float64)
+    texture_mask = np.zeros((height, width))
+    texture_mask[height // 2 :, width // 2 :] = 1.0
+
+    frames = np.empty((num_frames, height, width), dtype=np.uint8)
+    box = max(8, height // 6)
+    for i in range(num_frames):
+        frame = gradient + texture * texture_mask
+        # A bright box sweeping left to right (motion).
+        x0 = int((width - box) * i / max(1, num_frames - 1))
+        y0 = height // 4
+        frame[y0 : y0 + box, x0 : x0 + box] = 235.0
+        frames[i] = np.clip(frame, 0, 255).astype(np.uint8)
+    return FrameSequence(frames=frames)
+
+
+def bilinear_resize(frame: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Real bilinear resampling of one grayscale frame."""
+    if frame.ndim != 2:
+        raise ValueError("frame must be 2D")
+    if out_h < 1 or out_w < 1:
+        raise ValueError("output size must be positive")
+    in_h, in_w = frame.shape
+    src = frame.astype(np.float64)
+    ys = np.linspace(0, in_h - 1, out_h)
+    xs = np.linspace(0, in_w - 1, out_w)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+    top = src[np.ix_(y0, x0)] * (1 - wx) + src[np.ix_(y0, x1)] * wx
+    bottom = src[np.ix_(y1, x0)] * (1 - wx) + src[np.ix_(y1, x1)] * wx
+    out = top * (1 - wy) + bottom * wy
+    return np.clip(np.rint(out), 0, 255).astype(np.uint8)

@@ -1,0 +1,28 @@
+"""OS kernel model.
+
+Datacenter workloads spend 10-30% of cycles in the kernel (Fig. 9), and
+Section 5.3 of the paper traces a 54% performance regression on a
+384-core SKU to lock contention on the scheduler's ``tg->load_avg``
+counter — fixed in kernel 6.9 by rate-limiting updates.  This package
+models exactly those mechanisms: a kernel-version descriptor with the
+contention parameters, a syscall cost table, and a discrete-event CPU
+scheduler that charges context-switch and load-tracking overhead on
+every dispatch.
+"""
+
+from repro.oskernel.kernel import KERNEL_6_4, KERNEL_6_9, KernelVersion, get_kernel
+from repro.oskernel.loadavg import LoadAvgContentionModel
+from repro.oskernel.scheduler import CpuScheduler, SchedulerStats
+from repro.oskernel.syscalls import SYSCALL_TABLE, syscall_cost_us
+
+__all__ = [
+    "KernelVersion",
+    "KERNEL_6_4",
+    "KERNEL_6_9",
+    "get_kernel",
+    "LoadAvgContentionModel",
+    "CpuScheduler",
+    "SchedulerStats",
+    "SYSCALL_TABLE",
+    "syscall_cost_us",
+]

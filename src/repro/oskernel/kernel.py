@@ -1,0 +1,70 @@
+"""Kernel version descriptors.
+
+The Section 5.3 case study compares Linux 6.4 and 6.9.  The relevant
+difference is commit 1528c661 ("sched/fair: Ratelimit update to
+tg->load_avg"): 6.4 updates the task-group load counter on every
+enqueue/dequeue, so on high-core-count machines the cacheline holding
+the counter bounces between hundreds of cores; 6.9 rate-limits updates
+to roughly once per millisecond per task group, removing the contention.
+
+``loadavg_update_ratio`` expresses the fraction of scheduling events
+that still touch the shared counter (1.0 on 6.4, ~0.02 on 6.9 for a
+nanosleep-heavy workload like TaoBench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class KernelVersion:
+    """Scheduler-relevant parameters of one kernel release."""
+
+    version: str
+    context_switch_us: float = 1.2
+    loadavg_update_ratio: float = 1.0
+    loadavg_base_cycles: float = 2100.0
+    loadavg_ref_cores: int = 176
+    loadavg_exponent: float = 3.15
+
+    def __post_init__(self) -> None:
+        if self.context_switch_us <= 0:
+            raise ValueError("context_switch_us must be positive")
+        if not 0.0 <= self.loadavg_update_ratio <= 1.0:
+            raise ValueError("loadavg_update_ratio must be in [0, 1]")
+        if self.loadavg_base_cycles < 0:
+            raise ValueError("loadavg_base_cycles must be non-negative")
+
+    def loadavg_cost_cycles(self, logical_cores: int) -> float:
+        """Average shared-counter cost charged per scheduling event.
+
+        The cost grows superlinearly with core count: more cores means
+        both more frequent updates to the same cacheline and a longer
+        coherence path per bounce.  The exponent is calibrated so the
+        model reproduces Figure 16 (a ~3% effect at 176 cores, a ~35%
+        capacity loss at 384 cores on kernel 6.4).
+        """
+        if logical_cores < 1:
+            raise ValueError("logical_cores must be >= 1")
+        scale = (logical_cores / self.loadavg_ref_cores) ** self.loadavg_exponent
+        return self.loadavg_base_cycles * scale * self.loadavg_update_ratio
+
+
+KERNEL_6_4 = KernelVersion(version="6.4", loadavg_update_ratio=1.0)
+KERNEL_6_9 = KernelVersion(version="6.9", loadavg_update_ratio=0.02)
+
+_KERNELS: Dict[str, KernelVersion] = {
+    KERNEL_6_4.version: KERNEL_6_4,
+    KERNEL_6_9.version: KERNEL_6_9,
+}
+
+
+def get_kernel(version: str) -> KernelVersion:
+    """Look up a modeled kernel version ("6.4" or "6.9")."""
+    try:
+        return _KERNELS[version]
+    except KeyError:
+        known = ", ".join(sorted(_KERNELS))
+        raise KeyError(f"unknown kernel {version!r}; modeled kernels: {known}") from None

@@ -1,0 +1,89 @@
+"""Self-consistent scheduler-overhead solver.
+
+Scheduler overhead is a feedback system: throughput determines the
+context-switch rate, switch rate determines scheduler CPU consumption,
+and scheduler CPU consumption reduces the capacity available for
+application work — which lowers throughput.  This module solves that
+fixed point, producing the *scheduler overhead fraction* the workload
+runner folds into its scaling efficiency.
+
+This is the mechanism behind Figure 16: TaoBench issues ~2 scheduling
+events per request (dispatch to a fast/slow thread plus the
+``nanosleep()`` wakeup on the slow path), so at millions of requests
+per second the per-event ``tg->load_avg`` cost — tiny at 176 cores,
+large at 384 on kernel 6.4 — turns into a third of the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oskernel.kernel import KernelVersion
+
+
+@dataclass(frozen=True)
+class SchedulerOverheadResult:
+    """Output of the fixed-point solve."""
+
+    overhead_fraction: float
+    switch_rate_per_sec: float
+    per_event_cost_cycles: float
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overhead_fraction < 1.0:
+            raise ValueError("overhead_fraction must be in [0, 1)")
+
+
+class LoadAvgContentionModel:
+    """Computes scheduler overhead for a workload on a kernel + SKU."""
+
+    def __init__(self, kernel: KernelVersion) -> None:
+        self.kernel = kernel
+
+    def per_event_cost_cycles(self, logical_cores: int) -> float:
+        """Total scheduler cost per scheduling event, in cycles."""
+        base_cycles = self.kernel.context_switch_us * 1e3  # ~1.2us ~ 2400 @2GHz
+        return base_cycles + self.kernel.loadavg_cost_cycles(logical_cores)
+
+    def solve(
+        self,
+        unimpeded_switch_rate: float,
+        logical_cores: int,
+        freq_ghz: float,
+        max_iterations: int = 20,
+        tolerance: float = 1e-6,
+    ) -> SchedulerOverheadResult:
+        """Fixed-point solve of the overhead/throughput feedback.
+
+        Args:
+            unimpeded_switch_rate: scheduling events per second the
+                workload would generate with zero scheduler overhead.
+            logical_cores: hardware threads on the machine.
+            freq_ghz: effective core frequency.
+        """
+        if unimpeded_switch_rate < 0:
+            raise ValueError("unimpeded_switch_rate must be non-negative")
+        if logical_cores < 1:
+            raise ValueError("logical_cores must be >= 1")
+        if freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+
+        cost_cycles = self.per_event_cost_cycles(logical_cores)
+        capacity_cycles = logical_cores * freq_ghz * 1e9
+        overhead = 0.0
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            # Throughput (and hence switch rate) shrinks with overhead.
+            switch_rate = unimpeded_switch_rate * (1.0 - overhead)
+            new_overhead = min(0.9, switch_rate * cost_cycles / capacity_cycles)
+            if abs(new_overhead - overhead) < tolerance:
+                overhead = new_overhead
+                break
+            overhead = new_overhead
+        return SchedulerOverheadResult(
+            overhead_fraction=overhead,
+            switch_rate_per_sec=unimpeded_switch_rate * (1.0 - overhead),
+            per_event_cost_cycles=cost_cycles,
+            iterations=iterations,
+        )

@@ -1,0 +1,43 @@
+"""Syscall cost table.
+
+Workload models compose request service times partly from syscall
+costs; the table also feeds the kernel-time fraction accounting behind
+Figure 9.  Costs are representative post-Spectre/Meltdown numbers for a
+warm syscall path on a ~2 GHz server core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Base cost in microseconds per invocation.
+SYSCALL_TABLE: Dict[str, float] = {
+    "read": 0.55,
+    "write": 0.60,
+    "recv": 0.70,
+    "send": 0.75,
+    "epoll_wait": 0.90,
+    "futex_wait": 1.10,
+    "futex_wake": 0.80,
+    "nanosleep": 1.40,
+    "mmap": 2.50,
+    "open": 1.80,
+    "close": 0.45,
+    "sched_yield": 0.50,
+}
+
+
+def syscall_cost_us(name: str, count: int = 1) -> float:
+    """Total cost in microseconds for ``count`` invocations of ``name``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    try:
+        return SYSCALL_TABLE[name] * count
+    except KeyError:
+        known = ", ".join(sorted(SYSCALL_TABLE))
+        raise KeyError(f"unknown syscall {name!r}; known: {known}") from None
+
+
+def request_kernel_time_us(syscalls: Dict[str, int]) -> float:
+    """Kernel time in microseconds for one request's syscall mix."""
+    return sum(syscall_cost_us(name, count) for name, count in syscalls.items())

@@ -1,0 +1,42 @@
+"""Thrift-style RPC substrate.
+
+DCPerf's benchmarks are client-server applications that communicate
+over the Thrift RPC protocol, and the RPC stack itself is a significant
+part of the "datacenter tax".  This package is a real, working
+implementation of a Thrift-compatible binary protocol (types, field
+IDs, struct/list/map nesting), a framed transport, and a client/server
+pair usable both over in-memory channels (unit tests, microbenchmarks)
+and inside the discrete-event simulation (workload models account its
+serialized byte volumes and cycle costs).
+"""
+
+from repro.rpc.protocol import (
+    BinaryProtocolReader,
+    BinaryProtocolWriter,
+    ThriftType,
+    decode_message,
+    encode_message,
+)
+from repro.rpc.compact import decode_compact_struct, encode_compact_struct
+from repro.rpc.structs import ThriftField, ThriftStruct, struct_from_dict
+from repro.rpc.transport import FramedTransport, InMemoryChannel
+from repro.rpc.service import RpcClient, RpcError, RpcServer, ServiceHandler
+
+__all__ = [
+    "BinaryProtocolReader",
+    "BinaryProtocolWriter",
+    "ThriftType",
+    "encode_message",
+    "decode_message",
+    "encode_compact_struct",
+    "decode_compact_struct",
+    "ThriftField",
+    "ThriftStruct",
+    "struct_from_dict",
+    "FramedTransport",
+    "InMemoryChannel",
+    "RpcClient",
+    "RpcServer",
+    "RpcError",
+    "ServiceHandler",
+]

@@ -1,0 +1,293 @@
+"""Thrift compact protocol codec.
+
+Implements the wire format of Apache Thrift's ``TCompactProtocol``:
+zigzag-varint integers, short-form field headers (field-id delta packed
+with the type nibble), size-prefixed strings, and typed containers.
+Production Thrift deployments prefer compact over binary for its 2-4x
+smaller integers — both codecs live here so the serialization tax can
+be compared on real bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Any, Dict, List, Tuple
+
+from repro.rpc.protocol import ProtocolError
+
+
+class CompactType(enum.IntEnum):
+    """Compact-protocol type nibbles (matching Apache Thrift)."""
+
+    STOP = 0x00
+    TRUE = 0x01
+    FALSE = 0x02
+    BYTE = 0x03
+    I16 = 0x04
+    I32 = 0x05
+    I64 = 0x06
+    DOUBLE = 0x07
+    BINARY = 0x08
+    LIST = 0x09
+    SET = 0x0A
+    MAP = 0x0B
+    STRUCT = 0x0C
+
+
+def zigzag_encode(value: int) -> int:
+    """Map signed to unsigned: 0,-1,1,-2 -> 0,1,2,3."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(encoded: int) -> int:
+    return (encoded >> 1) if not encoded & 1 else -((encoded + 1) >> 1)
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128 varint."""
+    if value < 0:
+        raise ProtocolError("varints encode unsigned values")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Returns (value, new_pos); raises on truncation."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise ProtocolError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ProtocolError("varint too long")
+
+
+def _compact_type_of(value: Any) -> CompactType:
+    if isinstance(value, bool):
+        return CompactType.TRUE if value else CompactType.FALSE
+    if isinstance(value, int):
+        return CompactType.I64
+    if isinstance(value, float):
+        return CompactType.DOUBLE
+    if isinstance(value, (str, bytes)):
+        return CompactType.BINARY
+    if isinstance(value, (list, tuple)):
+        return CompactType.LIST
+    if isinstance(value, dict):
+        return CompactType.MAP
+    raise ProtocolError(f"cannot compact-encode {type(value).__name__}")
+
+
+def _write_value(out: bytearray, value: Any) -> None:
+    ctype = _compact_type_of(value)
+    if ctype in (CompactType.TRUE, CompactType.FALSE):
+        out.append(1 if value else 0)
+    elif ctype == CompactType.I64:
+        write_varint(out, zigzag_encode(value))
+    elif ctype == CompactType.DOUBLE:
+        out.extend(struct.pack("<d", value))
+    elif ctype == CompactType.BINARY:
+        payload = value.encode("utf-8") if isinstance(value, str) else value
+        write_varint(out, len(payload))
+        out.extend(payload)
+    elif ctype == CompactType.LIST:
+        etype = _compact_type_of(value[0]) if value else CompactType.I64
+        if etype == CompactType.FALSE:
+            etype = CompactType.TRUE  # container element type for bools
+        size = len(value)
+        if size < 15:
+            out.append((size << 4) | int(etype))
+        else:
+            out.append(0xF0 | int(etype))
+            write_varint(out, size)
+        for item in value:
+            item_type = _compact_type_of(item)
+            if item_type == CompactType.FALSE:
+                item_type = CompactType.TRUE
+            if item_type != etype:
+                raise ProtocolError("heterogeneous list elements")
+            _write_value(out, item)
+    elif ctype == CompactType.MAP:
+        items = list(value.items())
+        if not items:
+            out.append(0)
+            return
+        write_varint(out, len(items))
+        ktype = _compact_type_of(items[0][0])
+        vtype = _compact_type_of(items[0][1])
+        out.append((int(ktype) << 4) | int(vtype))
+        for key, val in items:
+            _write_value(out, key)
+            _write_value(out, val)
+    else:  # pragma: no cover
+        raise ProtocolError(f"unhandled compact type {ctype}")
+
+
+def _read_value(data: bytes, pos: int, ctype: CompactType) -> Tuple[Any, int]:
+    if ctype in (CompactType.TRUE, CompactType.FALSE):
+        if pos >= len(data):
+            raise ProtocolError("truncated bool")
+        return data[pos] != 0, pos + 1
+    if ctype in (CompactType.BYTE, CompactType.I16, CompactType.I32, CompactType.I64):
+        raw, pos = read_varint(data, pos)
+        return zigzag_decode(raw), pos
+    if ctype == CompactType.DOUBLE:
+        if pos + 8 > len(data):
+            raise ProtocolError("truncated double")
+        return struct.unpack("<d", data[pos : pos + 8])[0], pos + 8
+    if ctype == CompactType.BINARY:
+        size, pos = read_varint(data, pos)
+        if pos + size > len(data):
+            raise ProtocolError("truncated binary")
+        return data[pos : pos + size], pos + size
+    if ctype == CompactType.LIST:
+        if pos >= len(data):
+            raise ProtocolError("truncated list header")
+        header = data[pos]
+        pos += 1
+        etype = CompactType(header & 0x0F)
+        size = header >> 4
+        if size == 15:
+            size, pos = read_varint(data, pos)
+        out: List[Any] = []
+        for _ in range(size):
+            item, pos = _read_value(data, pos, etype)
+            out.append(item)
+        return out, pos
+    if ctype == CompactType.MAP:
+        size, pos = read_varint(data, pos)
+        if size == 0:
+            return {}, pos
+        if pos >= len(data):
+            raise ProtocolError("truncated map header")
+        header = data[pos]
+        pos += 1
+        ktype = CompactType(header >> 4)
+        vtype = CompactType(header & 0x0F)
+        result: Dict[Any, Any] = {}
+        for _ in range(size):
+            key, pos = _read_value(data, pos, ktype)
+            if isinstance(key, bytes):
+                key = key.decode("utf-8", errors="replace")
+            value, pos = _read_value(data, pos, vtype)
+            result[key] = value
+        return result, pos
+    if ctype == CompactType.STRUCT:
+        return decode_compact_struct_at(data, pos)
+    raise ProtocolError(f"cannot read compact type {ctype}")
+
+
+def encode_compact_struct(fields: Dict[int, Any]) -> bytes:
+    """Encode field-id -> value pairs with delta field headers."""
+    out = bytearray()
+    last_fid = 0
+    for fid in sorted(fields):
+        value = fields[fid]
+        if value is None:
+            continue
+        if fid <= 0:
+            raise ProtocolError("field ids must be positive")
+        ctype = _compact_type_of(value)
+        delta = fid - last_fid
+        if 1 <= delta <= 15:
+            out.append((delta << 4) | int(ctype))
+        else:
+            out.append(int(ctype))
+            write_varint(out, zigzag_encode(fid))
+        if ctype in (CompactType.TRUE, CompactType.FALSE):
+            pass  # the bool travels in the type nibble
+        else:
+            _write_value(out, value)
+        last_fid = fid
+    out.append(int(CompactType.STOP))
+    return bytes(out)
+
+
+def decode_compact_struct_at(data: bytes, pos: int) -> Tuple[Dict[int, Any], int]:
+    """Decode a struct starting at ``pos``; returns (fields, new_pos)."""
+    fields: Dict[int, Any] = {}
+    last_fid = 0
+    while True:
+        if pos >= len(data):
+            raise ProtocolError("truncated struct (missing STOP)")
+        header = data[pos]
+        pos += 1
+        if header == int(CompactType.STOP):
+            return fields, pos
+        ctype = CompactType(header & 0x0F)
+        delta = header >> 4
+        if delta:
+            fid = last_fid + delta
+        else:
+            raw, pos = read_varint(data, pos)
+            fid = zigzag_decode(raw)
+        if ctype in (CompactType.TRUE, CompactType.FALSE):
+            fields[fid] = ctype == CompactType.TRUE
+        else:
+            fields[fid], pos = _read_value(data, pos, ctype)
+        last_fid = fid
+
+
+def decode_compact_struct(data: bytes) -> Dict[int, Any]:
+    """Decode a struct from the start of ``data``."""
+    fields, _ = decode_compact_struct_at(data, 0)
+    return fields
+
+
+# --- message envelope ---------------------------------------------------------
+
+#: TCompactProtocol constants.
+PROTOCOL_ID = 0x82
+COMPACT_VERSION = 1
+_VERSION_MASK = 0x1F
+_TYPE_SHIFT = 5
+
+
+def encode_compact_message(
+    name: str, payload: Dict[int, Any], seqid: int = 0, mtype: int = 1
+) -> bytes:
+    """Encode a full compact-protocol RPC message.
+
+    Envelope: protocol id byte, version/type byte, varint seqid,
+    varint-length name, then the argument struct.
+    """
+    if not 0 <= mtype <= 7:
+        raise ProtocolError("message type must fit in 3 bits")
+    out = bytearray()
+    out.append(PROTOCOL_ID)
+    out.append((mtype << _TYPE_SHIFT) | COMPACT_VERSION)
+    write_varint(out, seqid)
+    encoded_name = name.encode("utf-8")
+    write_varint(out, len(encoded_name))
+    out.extend(encoded_name)
+    out.extend(encode_compact_struct(payload))
+    return bytes(out)
+
+
+def decode_compact_message(data: bytes) -> Tuple[str, int, int, Dict[int, Any]]:
+    """Decode a compact message; returns (name, mtype, seqid, fields)."""
+    if len(data) < 2:
+        raise ProtocolError("truncated compact envelope")
+    if data[0] != PROTOCOL_ID:
+        raise ProtocolError(f"bad compact protocol id: {data[0]:#x}")
+    version = data[1] & _VERSION_MASK
+    if version != COMPACT_VERSION:
+        raise ProtocolError(f"bad compact version: {version}")
+    mtype = data[1] >> _TYPE_SHIFT
+    seqid, pos = read_varint(data, 2)
+    name_len, pos = read_varint(data, pos)
+    if pos + name_len > len(data):
+        raise ProtocolError("truncated message name")
+    name = data[pos : pos + name_len].decode("utf-8")
+    pos += name_len
+    fields, _ = decode_compact_struct_at(data, pos)
+    return name, mtype, seqid, fields

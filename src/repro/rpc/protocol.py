@@ -1,0 +1,315 @@
+"""Thrift binary protocol codec.
+
+Implements the wire format of Apache Thrift's ``TBinaryProtocol``
+(strict mode): big-endian fixed-width scalars, length-prefixed strings,
+type-tagged struct fields terminated by a STOP byte, and typed
+list/map/set containers.  Message envelopes carry (name, message type,
+sequence id).
+
+This is real serialization code — the datacenter-tax microbenchmarks
+(:mod:`repro.dctax.microbench`) measure it, and the workload models use
+its byte counts for their traffic modeling.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Any, Dict, List, Tuple
+
+#: Strict-mode version bits for message envelopes.
+VERSION_1 = 0x80010000
+VERSION_MASK = 0xFFFF0000
+
+
+class ThriftType(enum.IntEnum):
+    """Wire type tags (matching Apache Thrift)."""
+
+    STOP = 0
+    BOOL = 2
+    BYTE = 3
+    DOUBLE = 4
+    I16 = 6
+    I32 = 8
+    I64 = 10
+    STRING = 11
+    STRUCT = 12
+    MAP = 13
+    SET = 14
+    LIST = 15
+
+
+class MessageType(enum.IntEnum):
+    CALL = 1
+    REPLY = 2
+    EXCEPTION = 3
+    ONEWAY = 4
+
+
+class ProtocolError(Exception):
+    """Raised on malformed wire data."""
+
+
+class BinaryProtocolWriter:
+    """Serializes values into Thrift binary wire format."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    # --- scalars ------------------------------------------------------------
+    def write_bool(self, value: bool) -> None:
+        self._chunks.append(b"\x01" if value else b"\x00")
+
+    def write_byte(self, value: int) -> None:
+        self._chunks.append(struct.pack("!b", value))
+
+    def write_i16(self, value: int) -> None:
+        self._chunks.append(struct.pack("!h", value))
+
+    def write_i32(self, value: int) -> None:
+        self._chunks.append(struct.pack("!i", value))
+
+    def write_i64(self, value: int) -> None:
+        self._chunks.append(struct.pack("!q", value))
+
+    def write_double(self, value: float) -> None:
+        self._chunks.append(struct.pack("!d", value))
+
+    def write_binary(self, value: bytes) -> None:
+        self._chunks.append(struct.pack("!i", len(value)))
+        self._chunks.append(value)
+
+    def write_string(self, value: str) -> None:
+        self.write_binary(value.encode("utf-8"))
+
+    # --- structure ----------------------------------------------------------
+    def write_field_begin(self, ftype: ThriftType, fid: int) -> None:
+        self.write_byte(int(ftype))
+        self.write_i16(fid)
+
+    def write_field_stop(self) -> None:
+        self.write_byte(int(ThriftType.STOP))
+
+    def write_list_begin(self, etype: ThriftType, size: int) -> None:
+        self.write_byte(int(etype))
+        self.write_i32(size)
+
+    def write_map_begin(self, ktype: ThriftType, vtype: ThriftType, size: int) -> None:
+        self.write_byte(int(ktype))
+        self.write_byte(int(vtype))
+        self.write_i32(size)
+
+    def write_message_begin(self, name: str, mtype: MessageType, seqid: int) -> None:
+        self._chunks.append(struct.pack("!I", VERSION_1 | int(mtype)))
+        self.write_string(name)
+        self.write_i32(seqid)
+
+
+class BinaryProtocolReader:
+    """Deserializes Thrift binary wire format."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise ProtocolError(
+                f"truncated wire data: need {count} bytes, have {self.remaining}"
+            )
+        out = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return out
+
+    # --- scalars ------------------------------------------------------------
+    def read_bool(self) -> bool:
+        return self._take(1) != b"\x00"
+
+    def read_byte(self) -> int:
+        return struct.unpack("!b", self._take(1))[0]
+
+    def read_i16(self) -> int:
+        return struct.unpack("!h", self._take(2))[0]
+
+    def read_i32(self) -> int:
+        return struct.unpack("!i", self._take(4))[0]
+
+    def read_i64(self) -> int:
+        return struct.unpack("!q", self._take(8))[0]
+
+    def read_double(self) -> float:
+        return struct.unpack("!d", self._take(8))[0]
+
+    def read_binary(self) -> bytes:
+        size = self.read_i32()
+        if size < 0:
+            raise ProtocolError(f"negative string length: {size}")
+        return self._take(size)
+
+    def read_string(self) -> str:
+        return self.read_binary().decode("utf-8")
+
+    # --- structure ----------------------------------------------------------
+    def read_field_begin(self) -> Tuple[ThriftType, int]:
+        ftype = ThriftType(self.read_byte())
+        if ftype == ThriftType.STOP:
+            return ftype, 0
+        return ftype, self.read_i16()
+
+    def read_list_begin(self) -> Tuple[ThriftType, int]:
+        etype = ThriftType(self.read_byte())
+        size = self.read_i32()
+        if size < 0:
+            raise ProtocolError(f"negative list size: {size}")
+        return etype, size
+
+    def read_map_begin(self) -> Tuple[ThriftType, ThriftType, int]:
+        ktype = ThriftType(self.read_byte())
+        vtype = ThriftType(self.read_byte())
+        size = self.read_i32()
+        if size < 0:
+            raise ProtocolError(f"negative map size: {size}")
+        return ktype, vtype, size
+
+    def read_message_begin(self) -> Tuple[str, MessageType, int]:
+        header = self.read_i32() & 0xFFFFFFFF
+        if header & VERSION_MASK != VERSION_1:
+            raise ProtocolError(f"bad protocol version: {header:#x}")
+        mtype = MessageType(header & 0xFF)
+        name = self.read_string()
+        seqid = self.read_i32()
+        return name, mtype, seqid
+
+
+# --- dynamic (schema-less) value encoding ------------------------------------
+
+def thrift_type_of(value: Any) -> ThriftType:
+    """Infer the wire type for a Python value."""
+    if isinstance(value, bool):
+        return ThriftType.BOOL
+    if isinstance(value, int):
+        return ThriftType.I64
+    if isinstance(value, float):
+        return ThriftType.DOUBLE
+    if isinstance(value, (str, bytes)):
+        return ThriftType.STRING
+    if isinstance(value, (list, tuple)):
+        return ThriftType.LIST
+    if isinstance(value, dict):
+        return ThriftType.MAP
+    raise ProtocolError(f"cannot encode python type {type(value).__name__}")
+
+
+def write_value(writer: BinaryProtocolWriter, value: Any) -> None:
+    """Write one dynamically-typed value."""
+    wtype = thrift_type_of(value)
+    if wtype == ThriftType.BOOL:
+        writer.write_bool(value)
+    elif wtype == ThriftType.I64:
+        writer.write_i64(value)
+    elif wtype == ThriftType.DOUBLE:
+        writer.write_double(value)
+    elif wtype == ThriftType.STRING:
+        if isinstance(value, str):
+            writer.write_string(value)
+        else:
+            writer.write_binary(value)
+    elif wtype == ThriftType.LIST:
+        etype = thrift_type_of(value[0]) if value else ThriftType.I64
+        writer.write_list_begin(etype, len(value))
+        for item in value:
+            if thrift_type_of(item) != etype:
+                raise ProtocolError("heterogeneous list elements")
+            write_value(writer, item)
+    elif wtype == ThriftType.MAP:
+        items = list(value.items())
+        ktype = thrift_type_of(items[0][0]) if items else ThriftType.STRING
+        vtype = thrift_type_of(items[0][1]) if items else ThriftType.I64
+        writer.write_map_begin(ktype, vtype, len(items))
+        for key, val in items:
+            write_value(writer, key)
+            write_value(writer, val)
+    else:  # pragma: no cover - thrift_type_of covers all branches
+        raise ProtocolError(f"unhandled type {wtype}")
+
+
+def read_value(reader: BinaryProtocolReader, wtype: ThriftType) -> Any:
+    """Read one value of the given wire type."""
+    if wtype == ThriftType.BOOL:
+        return reader.read_bool()
+    if wtype == ThriftType.BYTE:
+        return reader.read_byte()
+    if wtype == ThriftType.I16:
+        return reader.read_i16()
+    if wtype == ThriftType.I32:
+        return reader.read_i32()
+    if wtype == ThriftType.I64:
+        return reader.read_i64()
+    if wtype == ThriftType.DOUBLE:
+        return reader.read_double()
+    if wtype == ThriftType.STRING:
+        return reader.read_binary()
+    if wtype == ThriftType.LIST:
+        etype, size = reader.read_list_begin()
+        return [read_value(reader, etype) for _ in range(size)]
+    if wtype == ThriftType.MAP:
+        ktype, vtype, size = reader.read_map_begin()
+        out = {}
+        for _ in range(size):
+            key = read_value(reader, ktype)
+            if isinstance(key, bytes):
+                key = key.decode("utf-8", errors="replace")
+            out[key] = read_value(reader, vtype)
+        return out
+    if wtype == ThriftType.STRUCT:
+        return read_struct_fields(reader)
+    raise ProtocolError(f"cannot read wire type {wtype}")
+
+
+def write_struct_fields(writer: BinaryProtocolWriter, fields: Dict[int, Any]) -> None:
+    """Write a struct as field-id -> value pairs plus a STOP byte."""
+    for fid in sorted(fields):
+        value = fields[fid]
+        if value is None:
+            continue
+        writer.write_field_begin(thrift_type_of(value), fid)
+        write_value(writer, value)
+    writer.write_field_stop()
+
+
+def read_struct_fields(reader: BinaryProtocolReader) -> Dict[int, Any]:
+    """Read struct fields until STOP; returns field-id -> value."""
+    out: Dict[int, Any] = {}
+    while True:
+        ftype, fid = reader.read_field_begin()
+        if ftype == ThriftType.STOP:
+            return out
+        out[fid] = read_value(reader, ftype)
+
+
+def encode_message(
+    name: str,
+    payload: Dict[int, Any],
+    seqid: int = 0,
+    mtype: MessageType = MessageType.CALL,
+) -> bytes:
+    """Encode a full RPC message: envelope + argument struct."""
+    writer = BinaryProtocolWriter()
+    writer.write_message_begin(name, mtype, seqid)
+    write_struct_fields(writer, payload)
+    return writer.getvalue()
+
+
+def decode_message(data: bytes) -> Tuple[str, MessageType, int, Dict[int, Any]]:
+    """Decode a full RPC message; returns (name, type, seqid, fields)."""
+    reader = BinaryProtocolReader(data)
+    name, mtype, seqid = reader.read_message_begin()
+    fields = read_struct_fields(reader)
+    return name, mtype, seqid, fields

@@ -1,0 +1,103 @@
+"""Declarative Thrift struct schemas.
+
+Workload payloads (TAO objects, feed stories, timeline entries) are
+declared as :class:`ThriftStruct` schemas so their encode/decode work
+is real and their wire sizes are measurable — the paper replicates
+production request/response size distributions, and these schemas are
+where that replication happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.rpc.protocol import (
+    BinaryProtocolReader,
+    BinaryProtocolWriter,
+    ProtocolError,
+    read_struct_fields,
+    write_struct_fields,
+)
+
+
+@dataclass(frozen=True)
+class ThriftField:
+    """One field of a struct schema."""
+
+    fid: int
+    name: str
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fid < 1:
+            raise ValueError("field ids start at 1")
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+
+
+class ThriftStruct:
+    """A named struct schema mapping field names to wire field ids."""
+
+    def __init__(self, name: str, fields: Sequence[ThriftField]) -> None:
+        if not name:
+            raise ValueError("struct name must be non-empty")
+        fids = [f.fid for f in fields]
+        if len(set(fids)) != len(fids):
+            raise ValueError(f"{name}: duplicate field ids")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{name}: duplicate field names")
+        self.name = name
+        self.fields = list(fields)
+        self._by_name = {f.name: f for f in fields}
+        self._by_fid = {f.fid: f for f in fields}
+
+    def encode(self, values: Dict[str, Any]) -> bytes:
+        """Encode a name->value dict according to the schema."""
+        payload: Dict[int, Any] = {}
+        for field in self.fields:
+            if field.name in values and values[field.name] is not None:
+                payload[field.fid] = values[field.name]
+            elif field.required:
+                raise ProtocolError(
+                    f"{self.name}: missing required field {field.name!r}"
+                )
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise ProtocolError(f"{self.name}: unknown fields {sorted(unknown)}")
+        writer = BinaryProtocolWriter()
+        write_struct_fields(writer, payload)
+        return writer.getvalue()
+
+    def decode(self, data: bytes) -> Dict[str, Any]:
+        """Decode wire bytes back into a name->value dict.
+
+        Unknown field ids are skipped (forward compatibility), and
+        missing required fields raise.
+        """
+        reader = BinaryProtocolReader(data)
+        raw = read_struct_fields(reader)
+        out: Dict[str, Any] = {}
+        for fid, value in raw.items():
+            field = self._by_fid.get(fid)
+            if field is not None:
+                out[field.name] = value
+        for field in self.fields:
+            if field.required and field.name not in out:
+                raise ProtocolError(
+                    f"{self.name}: missing required field {field.name!r} on decode"
+                )
+        return out
+
+    def wire_size(self, values: Dict[str, Any]) -> int:
+        """Serialized size in bytes for the given values."""
+        return len(self.encode(values))
+
+
+def struct_from_dict(name: str, example: Dict[str, Any]) -> ThriftStruct:
+    """Derive a schema from an example payload (all fields required)."""
+    fields: List[ThriftField] = [
+        ThriftField(fid=i + 1, name=key) for i, key in enumerate(sorted(example))
+    ]
+    return ThriftStruct(name, fields)

@@ -1,0 +1,84 @@
+"""Framed transport and in-memory channels.
+
+Thrift's framed transport prefixes every message with a 4-byte length.
+:class:`FramedTransport` implements framing/deframing over any byte
+channel; :class:`InMemoryChannel` is the loopback channel used by unit
+tests and the datacenter-tax microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Deque, Optional
+
+
+class TransportError(Exception):
+    """Raised on framing violations."""
+
+
+#: Refuse frames beyond this size (matches common Thrift server limits).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class InMemoryChannel:
+    """A bidirectional pair of byte queues (client end + server end)."""
+
+    def __init__(self) -> None:
+        self._a_to_b: Deque[bytes] = deque()
+        self._b_to_a: Deque[bytes] = deque()
+        self.bytes_sent_a = 0
+        self.bytes_sent_b = 0
+
+    def send_a(self, data: bytes) -> None:
+        self._a_to_b.append(data)
+        self.bytes_sent_a += len(data)
+
+    def send_b(self, data: bytes) -> None:
+        self._b_to_a.append(data)
+        self.bytes_sent_b += len(data)
+
+    def recv_a(self) -> Optional[bytes]:
+        """Bytes sent by B, or None when empty."""
+        return self._b_to_a.popleft() if self._b_to_a else None
+
+    def recv_b(self) -> Optional[bytes]:
+        """Bytes sent by A, or None when empty."""
+        return self._a_to_b.popleft() if self._a_to_b else None
+
+
+class FramedTransport:
+    """Length-prefixed framing over a stream of byte chunks."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @staticmethod
+    def frame(payload: bytes) -> bytes:
+        """Wrap a payload with a 4-byte big-endian length prefix."""
+        if len(payload) > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame of {len(payload)} bytes exceeds max {MAX_FRAME_BYTES}"
+            )
+        return struct.pack("!I", len(payload)) + payload
+
+    def feed(self, chunk: bytes) -> None:
+        """Append received bytes to the reassembly buffer."""
+        self._buffer.extend(chunk)
+
+    def next_frame(self) -> Optional[bytes]:
+        """Pop one complete frame, or None if more bytes are needed."""
+        if len(self._buffer) < 4:
+            return None
+        (length,) = struct.unpack("!I", bytes(self._buffer[:4]))
+        if length > MAX_FRAME_BYTES:
+            raise TransportError(f"advertised frame of {length} bytes is too large")
+        if len(self._buffer) < 4 + length:
+            return None
+        frame = bytes(self._buffer[4 : 4 + length])
+        del self._buffer[: 4 + length]
+        return frame
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buffer)

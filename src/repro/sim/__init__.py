@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event-driven kernel on which every DCPerf
+workload model runs: a deterministic event loop (:class:`Environment`),
+generator-based processes (:class:`Process`), waitable events
+(:class:`Event`, :class:`Timeout`), and synchronisation primitives
+(:class:`Store`, :class:`Resource`).
+
+The design intentionally mirrors the small core of SimPy so that
+workload models read like ordinary coroutine code::
+
+    def client(env, store):
+        yield env.timeout(1.0)
+        item = yield store.get()
+
+    env = Environment()
+    env.process(client(env, store))
+    env.run(until=10.0)
+"""
+
+from repro.sim.engine import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.events import all_of, any_of
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "Store",
+    "PriorityStore",
+    "Resource",
+    "RngStreams",
+]

@@ -1,0 +1,258 @@
+"""Event loop, events, and generator-based processes.
+
+The engine is a priority-queue driven discrete-event simulator.  Time is
+a float (seconds by convention).  Determinism is guaranteed: events
+scheduled at the same timestamp fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so repeated runs
+of the same model produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Environment.run`."""
+
+
+PENDING = object()
+
+
+class Event:
+    """A waitable occurrence inside the simulation.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    schedules it, and when the environment processes it every registered
+    callback runs.  Processes wait on events by ``yield``-ing them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.
+        """
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator; the process itself is an event that fires when
+    the generator finishes (its value is the generator's return value).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError("Process requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current time.
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks.append(self._resume_with_interrupt(cause))
+        interrupt_event.succeed()
+
+    def _resume_with_interrupt(self, cause: Any) -> Callable[[Event], None]:
+        def resume(event: Event) -> None:
+            self._step(lambda: self._generator.throw(Interrupt(cause)))
+
+        return resume
+
+    def _resume(self, event: Event) -> None:
+        if not event.ok:
+            self._step(lambda: self._generator.throw(event.value))
+        else:
+            self._step(lambda: self._generator.send(event.value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self._target = None
+        self.env._active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly.
+            self.env._active_process = None
+            self.succeed(None)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {target!r} "
+                "(yield env.timeout(...) or another Event)"
+            )
+        if target.processed:
+            # The event already fired (e.g. joining on a fanout where
+            # some branches finished first): resume via a proxy event
+            # carrying the same outcome at the current time.
+            proxy = Event(self.env)
+            proxy.callbacks.append(self._resume)
+            if target.ok:
+                proxy.succeed(target.value)
+            else:
+                proxy.fail(target.value)
+            self._target = proxy
+            return
+        self._target = target
+        target.callbacks.append(self._resume)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raises :class:`SimulationError` if empty."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not callbacks:
+            # A failed event nobody waited on: surface the error.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock reaches ``until``."""
+        if until is not None:
+            if until < self._now:
+                raise ValueError(
+                    f"until ({until}) must not be before now ({self._now})"
+                )
+            stop = Event(self)
+            stop.callbacks.append(self._stop_callback)
+            self._schedule(stop, delay=until - self._now)
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation:
+            pass
+
+    def _stop_callback(self, event: Event) -> None:
+        raise StopSimulation

@@ -1,0 +1,89 @@
+"""Event combinators: join on all or any of a set of events.
+
+Fanout-join is the defining control structure of datacenter request
+processing (FeedSim waits for its slowest leaf; TAO multigets wait for
+every shard).  These combinators express it directly::
+
+    yield all_of(env, leaf_events)     # barrier on the slowest
+    winner = yield any_of(env, races)  # first responder wins
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.engine import Environment, Event
+
+
+def _subscribe(env: Environment, event: Event, callback) -> None:
+    """Attach a callback, handling already-processed events."""
+    if event.processed:
+        proxy = Event(env)
+        proxy.callbacks.append(callback)
+        if event.ok:
+            proxy.succeed(event.value)
+        else:
+            proxy.fail(event.value)
+        return
+    event.callbacks.append(callback)
+
+
+def all_of(env: Environment, events: Sequence[Event]) -> Event:
+    """An event firing once every input has fired.
+
+    Its value is the list of input values in input order.  If any input
+    fails, the combinator fails with that exception (first failure
+    wins; remaining results are discarded).
+    """
+    events = list(events)
+    result = Event(env)
+    if not events:
+        result.succeed([])
+        return result
+    remaining = [len(events)]
+    values: List[object] = [None] * len(events)
+
+    def make_callback(index: int):
+        def on_fire(event: Event) -> None:
+            if result.triggered:
+                return
+            if not event.ok:
+                result.fail(event.value)
+                return
+            values[index] = event.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                result.succeed(list(values))
+
+        return on_fire
+
+    for index, event in enumerate(events):
+        _subscribe(env, event, make_callback(index))
+    return result
+
+
+def any_of(env: Environment, events: Sequence[Event]) -> Event:
+    """An event firing when the first input fires.
+
+    Its value is ``(index, value)`` of the winner.  A failing first
+    input fails the combinator.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("any_of needs at least one event")
+    result = Event(env)
+
+    def make_callback(index: int):
+        def on_fire(event: Event) -> None:
+            if result.triggered:
+                return
+            if not event.ok:
+                result.fail(event.value)
+                return
+            result.succeed((index, event.value))
+
+        return on_fire
+
+    for index, event in enumerate(events):
+        _subscribe(env, event, make_callback(index))
+    return result

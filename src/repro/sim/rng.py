@@ -1,0 +1,150 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic element of a workload model (arrivals, key popularity,
+object sizes, backend latencies) draws from its own named stream so that
+changing one element never perturbs another — a prerequisite for
+apples-to-apples comparisons between configurations, which is exactly
+how DCPerf compares SKUs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Dict, List, Sequence
+
+
+class RngStreams:
+    """A factory of independent :class:`random.Random` streams.
+
+    Streams are derived from a master seed and the stream name, so
+    ``RngStreams(7).stream("arrivals")`` is identical across runs and
+    across machines.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive a child factory with an independent seed space."""
+        digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))
+
+
+def exponential(rng: random.Random, mean: float) -> float:
+    """Sample an exponential inter-arrival time with the given mean."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    return rng.expovariate(1.0 / mean)
+
+
+def lognormal_from_mean_cv(rng: random.Random, mean: float, cv: float) -> float:
+    """Sample a lognormal with the given mean and coefficient of variation.
+
+    Object-size and service-time distributions in production caches are
+    heavy-tailed; lognormal parameterised by (mean, cv) matches the
+    calibration style used in TaoBench.
+    """
+    if mean <= 0 or cv <= 0:
+        raise ValueError("mean and cv must be positive")
+    sigma2 = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma2 / 2.0
+    return rng.lognormvariate(mu, math.sqrt(sigma2))
+
+
+class ZipfSampler:
+    """Zipf(s) sampler over ranks ``1..n`` using inverse-CDF lookup.
+
+    Key popularity in TAO-like caches follows a Zipf law; this sampler
+    precomputes the CDF once (O(n)) and samples in O(log n).
+    """
+
+    def __init__(self, n: int, s: float = 0.99) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if s < 0:
+            raise ValueError("s must be >= 0")
+        self.n = n
+        self.s = s
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> int:
+        """Return a rank in ``1..n`` (1 is most popular)."""
+        u = rng.random()
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo + 1
+
+    def hit_fraction(self, top_k: int) -> float:
+        """Probability mass of the ``top_k`` most popular ranks."""
+        if top_k <= 0:
+            return 0.0
+        if top_k >= self.n:
+            return 1.0
+        return self._cdf[top_k - 1]
+
+
+class EmpiricalDistribution:
+    """Sample from explicit (value, weight) pairs.
+
+    DCPerf replicates production request/response size distributions;
+    this class holds such replicated histograms.
+    """
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float]) -> None:
+        if len(values) != len(weights) or not values:
+            raise ValueError("values and weights must be equal-length, non-empty")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.values = list(values)
+        cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        lo, hi = 0, len(self.values) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.values[lo]
+
+    def mean(self) -> float:
+        prev = 0.0
+        out = 0.0
+        for value, cum in zip(self.values, self._cdf):
+            out += value * (cum - prev)
+            prev = cum
+        return out

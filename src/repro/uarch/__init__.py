@@ -1,0 +1,37 @@
+"""Analytical microarchitecture model.
+
+The paper evaluates benchmark fidelity with PMU-derived metrics: TMAM
+slot breakdowns (Fig. 4-5), IPC (Fig. 6), memory bandwidth (Fig. 7),
+L1I MPKI (Fig. 8), kernel/user cycles (Fig. 9), power (Fig. 10) and
+frequency (Fig. 11).  This package substitutes the PMU with an
+analytical model: every workload carries a characteristics vector
+(:class:`WorkloadCharacteristics`) describing the *causes* the paper
+identifies — instruction footprint, context-switch rate, data locality,
+branch behaviour, kernel time — and the model derives the same metrics
+from those causes and the SKU's hardware parameters.
+"""
+
+from repro.uarch.characteristics import WorkloadCharacteristics, TaxProfile
+from repro.uarch.cache_model import CacheMissModel, MissProfile
+from repro.uarch.tmam import TmamProfile
+from repro.uarch.projection import ProjectionEngine, SteadyState
+from repro.uarch.calibrate import FidelityTargets, StructuralParams, calibrate
+from repro.uarch.explain import CycleBreakdown, explain_state
+from repro.uarch.sensitivity import sensitivity_sweep, top_knob_per_workload
+
+__all__ = [
+    "WorkloadCharacteristics",
+    "TaxProfile",
+    "CacheMissModel",
+    "MissProfile",
+    "TmamProfile",
+    "ProjectionEngine",
+    "SteadyState",
+    "FidelityTargets",
+    "StructuralParams",
+    "calibrate",
+    "CycleBreakdown",
+    "explain_state",
+    "sensitivity_sweep",
+    "top_knob_per_workload",
+]

@@ -1,0 +1,184 @@
+"""Workload characteristics vectors.
+
+A :class:`WorkloadCharacteristics` instance is the contract between a
+workload model (:mod:`repro.workloads`) and the microarchitecture model
+(:mod:`repro.uarch.projection`).  Every field corresponds to a cause
+the paper identifies for a microarchitecture-level effect:
+
+* ``code_footprint_kb`` — instruction working set; drives L1I misses
+  and hence frontend stalls (Section 4.2: SPEC's small codebase is why
+  it has far fewer frontend stalls).
+* ``switches_per_kinstr`` — context switches per kilo-instruction;
+  the paper explains TaoBench's high L1I MPKI despite a small codebase
+  by its thread-to-core oversubscription (Section 4.3, Fig. 8).
+* ``data_reuse_kb`` / ``locality_beta`` — parameters of the data
+  miss-ratio curve; drive backend stalls and memory bandwidth.
+* ``kernel_frac`` — kernel share of busy cycles (Fig. 9).
+* ``vector_intensity`` — wide-vector share; drives frequency
+  throttling (Fig. 11's low Spark frequency).
+* ``tax_profile`` — the datacenter-tax cycle composition (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+#: Canonical datacenter-tax categories used by Figure 12.  Categories
+#: starting with ``app:`` are application logic; the rest are tax.
+TAX_CATEGORIES = (
+    "rpc",
+    "compression",
+    "serialization",
+    "kvstore",
+    "threadmanager",
+    "memory",
+    "benchmark_clients",
+    "io_preparation",
+    "hashing",
+    "others",
+)
+
+
+@dataclass(frozen=True)
+class TaxProfile:
+    """CPU-cycle composition: application logic vs datacenter tax.
+
+    ``shares`` maps category name to its fraction of total CPU cycles.
+    Application-logic categories are prefixed ``app:`` (e.g.
+    ``app:ranking``); everything else counts as tax.  Shares must sum
+    to 1.
+    """
+
+    shares: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.shares:
+            object.__setattr__(self, "shares", {"app:generic": 1.0})
+            return
+        total = sum(self.shares.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"tax shares must sum to 1.0, got {total}")
+        if any(v < 0 for v in self.shares.values()):
+            raise ValueError("tax shares must be non-negative")
+
+    @property
+    def tax_fraction(self) -> float:
+        """Total fraction of cycles that is datacenter tax."""
+        return sum(v for k, v in self.shares.items() if not k.startswith("app:"))
+
+    @property
+    def app_fraction(self) -> float:
+        """Total fraction of cycles that is application logic."""
+        return 1.0 - self.tax_fraction
+
+    def share(self, category: str) -> float:
+        return self.shares.get(category, 0.0)
+
+    def scaled_tax(self, factor: float) -> "TaxProfile":
+        """Return a profile with all tax categories scaled by ``factor``.
+
+        Application categories absorb the difference proportionally.
+        Used by the tax-inclusion ablation study.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        tax = {k: v * factor for k, v in self.shares.items() if not k.startswith("app:")}
+        app_total_old = self.app_fraction
+        app_total_new = 1.0 - sum(tax.values())
+        if app_total_new < 0:
+            raise ValueError("scaled tax exceeds 100% of cycles")
+        out = dict(tax)
+        for key, value in self.shares.items():
+            if key.startswith("app:"):
+                if app_total_old > 0:
+                    out[key] = value / app_total_old * app_total_new
+                else:
+                    out[key] = 0.0
+        if app_total_old == 0 and app_total_new > 0:
+            out["app:generic"] = app_total_new
+        return TaxProfile(out)
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Microarchitecture-relevant description of one workload.
+
+    Calibration: footprints and rates are chosen so that, run through
+    :class:`repro.uarch.projection.ProjectionEngine` on SKU2, the model
+    reproduces the workload's published Figure 4-12 values.
+    """
+
+    name: str
+    category: str
+    # --- instruction side -------------------------------------------------
+    code_footprint_kb: float
+    switches_per_kinstr: float = 0.0
+    # --- data side --------------------------------------------------------
+    mem_refs_per_kinstr: float = 300.0
+    data_reuse_kb: float = 64.0
+    locality_beta: float = 0.55
+    memory_level_parallelism: float = 10.0
+    # --- control flow and execution ---------------------------------------
+    branch_per_kinstr: float = 170.0
+    branch_mispredict_rate: float = 0.02
+    dependency_cpk: float = 50.0
+    # Frontend shaping beyond raw L1I misses: ``frontend_overlap`` in
+    # (0, 1] scales down the per-miss bubble when misses overlap other
+    # stalls or hit close caches (high-context-switch workloads);
+    # ``frontend_extra_cpk`` adds ITLB/BTB/decode bubbles that are not
+    # L1I misses (large-codebase web workloads).
+    frontend_overlap: float = 1.0
+    frontend_extra_cpk: float = 0.0
+    vector_intensity: float = 0.0
+    smt_friendly: float = 1.0
+    # --- system behaviour ---------------------------------------------------
+    kernel_frac: float = 0.05
+    instructions_per_request: float = 1e6
+    thread_core_ratio: float = 1.0
+    rpc_fanout: float = 0.0
+    network_bytes_per_request: float = 4096.0
+    serial_fraction: float = 0.0
+    platform_activity: float = 0.0
+    # --- composition --------------------------------------------------------
+    tax_profile: TaxProfile = field(default_factory=TaxProfile)
+
+    def __post_init__(self) -> None:
+        positive = {
+            "code_footprint_kb": self.code_footprint_kb,
+            "mem_refs_per_kinstr": self.mem_refs_per_kinstr,
+            "data_reuse_kb": self.data_reuse_kb,
+            "memory_level_parallelism": self.memory_level_parallelism,
+            "instructions_per_request": self.instructions_per_request,
+            "thread_core_ratio": self.thread_core_ratio,
+        }
+        for label, value in positive.items():
+            if value <= 0:
+                raise ValueError(f"{label} must be positive, got {value}")
+        fractions = {
+            "branch_mispredict_rate": self.branch_mispredict_rate,
+            "vector_intensity": self.vector_intensity,
+            "kernel_frac": self.kernel_frac,
+            "serial_fraction": self.serial_fraction,
+            "platform_activity": self.platform_activity,
+        }
+        for label, value in fractions.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{label} must be in [0,1], got {value}")
+        if not 0.0 < self.locality_beta <= 2.0:
+            raise ValueError("locality_beta must be in (0, 2]")
+        if self.switches_per_kinstr < 0:
+            raise ValueError("switches_per_kinstr must be non-negative")
+        if not 0.0 < self.frontend_overlap <= 1.0:
+            raise ValueError("frontend_overlap must be in (0, 1]")
+        if self.frontend_extra_cpk < 0:
+            raise ValueError("frontend_extra_cpk must be non-negative")
+
+    def evolve(self, **changes: object) -> "WorkloadCharacteristics":
+        """Return a copy with the given fields replaced.
+
+        Used to derive production counterparts from benchmark models
+        and for ablation studies.
+        """
+        return replace(self, **changes)

@@ -1,0 +1,120 @@
+"""Explain a steady state: where do the cycles go?
+
+The paper's fidelity loop needs more than metric values — engineers ask
+*why* IPC is what it is.  This module decomposes a workload's
+cycles-per-kilo-instruction into named contributors (issue limit, L1I
+bubbles, decode/ITLB, branch flushes, cache-level stalls, DRAM stalls,
+dependencies), mirroring how a TMAM drill-down session reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hw.sku import ServerSku
+from repro.uarch.cache_model import CacheMissModel
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.projection import ProjectionEngine
+from repro.uarch.tmam import (
+    FRONTEND_MISS_COST,
+    L1D_MISS_COST,
+    L2_MISS_COST,
+    MISPREDICT_COST,
+    UOPS_PER_INSTRUCTION,
+)
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Named CPK contributors for one (workload, SKU, util) point.
+
+    ``contributors`` maps component name to cycles-per-kilo-instruction
+    *after* the generation-efficiency divisor, so the values sum to the
+    total CPK the IPC derives from.
+    """
+
+    workload: str
+    sku: str
+    total_cpk: float
+    contributors: Dict[str, float]
+
+    def shares(self) -> Dict[str, float]:
+        return {k: v / self.total_cpk for k, v in self.contributors.items()}
+
+    def ranked(self) -> List[str]:
+        """Contributor names, largest first."""
+        return sorted(self.contributors, key=self.contributors.get, reverse=True)
+
+    def render(self) -> str:
+        """A drill-down report, one line per contributor."""
+        lines = [
+            f"{self.workload} on {self.sku}: {self.total_cpk:.0f} cycles "
+            f"per kilo-instruction (IPC/thread "
+            f"{1000.0 / self.total_cpk:.2f})"
+        ]
+        shares = self.shares()
+        for name in self.ranked():
+            lines.append(
+                f"  {name:<22} {self.contributors[name]:7.1f} cpk  "
+                f"({shares[name]:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def explain_state(
+    chars: WorkloadCharacteristics,
+    sku: ServerSku,
+    cpu_util: float = 0.9,
+) -> CycleBreakdown:
+    """Decompose the projected CPK into named contributors.
+
+    The decomposition re-derives each TMAM term with the same inputs
+    the projection engine used, so the contributor sum matches the
+    engine's total CPK to floating-point accuracy.
+    """
+    state = ProjectionEngine(sku).solve(chars, cpu_util=cpu_util)
+    cpu = sku.cpu
+    eff = cpu.uarch_efficiency
+    misses = state.misses
+
+    active_cores = max(1, round(cpu.physical_cores * cpu_util))
+    CacheMissModel(cpu.caches, active_cores=active_cores)  # validated path
+
+    pathology = 1.0 + (cpu.frontend_penalty_multiplier - 1.0) * (
+        chars.code_footprint_kb / (chars.code_footprint_kb + 400.0)
+    )
+    issue_cpk = 1000.0 * UOPS_PER_INSTRUCTION / cpu.pipeline_width
+    l1i_cpk = (
+        misses.l1i_stall_mpki * FRONTEND_MISS_COST * chars.frontend_overlap
+        * pathology / eff
+    )
+    decode_cpk = chars.frontend_extra_cpk * pathology / eff
+    branch_cpk = (
+        chars.branch_per_kinstr * chars.branch_mispredict_rate * MISPREDICT_COST
+        / eff
+    )
+    l1d_cpk = misses.l1d_mpki * L1D_MISS_COST / eff
+    l2_cpk = misses.l2_mpki * L2_MISS_COST / eff
+    # Recover the DRAM cost the engine converged on from the remainder
+    # of the backend bucket.
+    backend_total = state.tmam.backend * state.tmam.cycles_per_kinstr
+    dependency_cpk = chars.dependency_cpk / eff
+    dram_cpk = max(0.0, backend_total - l1d_cpk - l2_cpk - dependency_cpk)
+
+    contributors = {
+        "issue limit": issue_cpk,
+        "L1I miss bubbles": l1i_cpk,
+        "decode/ITLB": decode_cpk,
+        "branch flushes": branch_cpk,
+        "L1D->L2 stalls": l1d_cpk,
+        "L2->LLC stalls": l2_cpk,
+        "DRAM stalls": dram_cpk,
+        "dependency stalls": dependency_cpk,
+    }
+    return CycleBreakdown(
+        workload=chars.name,
+        sku=sku.name,
+        total_cpk=state.tmam.cycles_per_kinstr,
+        contributors=contributors,
+    )

@@ -1,0 +1,181 @@
+"""Steady-state performance projection.
+
+:class:`ProjectionEngine` couples the cache model, TMAM accounting,
+frequency model, memory system, and power model into one fixed-point
+solve: memory-stall cost depends on bandwidth contention, bandwidth
+depends on instruction rate, instruction rate depends on IPC, and IPC
+depends on memory-stall cost.  A few iterations converge.
+
+The output :class:`SteadyState` bundles every metric the paper reports
+per workload: TMAM slots (Fig. 4), IPC per physical core (Fig. 6),
+memory bandwidth (Fig. 7), L1I MPKI (Fig. 8), effective frequency
+(Fig. 11), and the power breakdown (Fig. 10), plus the instruction
+throughput that the workload layer converts into RPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.power import PowerBreakdown, PowerModel
+from repro.hw.frequency import FrequencyModel
+from repro.hw.sku import ServerSku
+from repro.uarch.cache_model import CacheMissModel, MissProfile
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.tmam import TmamProfile, tmam_from_misses
+
+#: Fixed-point iterations for the bandwidth/IPC loop; converges fast
+#: because bandwidth feedback is a mild correction.
+_SOLVE_ITERATIONS = 5
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """All model outputs for one (workload, SKU, utilization) point."""
+
+    workload: str
+    sku: str
+    cpu_util: float
+    kernel_frac: float
+    effective_freq_ghz: float
+    misses: MissProfile
+    tmam: TmamProfile
+    ipc_per_physical_core: float
+    instructions_per_second: float
+    memory_bandwidth_gbps: float
+    memory_bandwidth_fraction: float
+    power: PowerBreakdown
+    power_watts: float
+    requests_per_second: float
+
+    @property
+    def giga_instructions_per_second(self) -> float:
+        return self.instructions_per_second / 1e9
+
+    def perf_per_watt(self) -> float:
+        """Requests per second per watt of wall power."""
+        if self.power_watts <= 0:
+            raise ValueError("power_watts must be positive")
+        return self.requests_per_second / self.power_watts
+
+
+class ProjectionEngine:
+    """Fixed-point steady-state solver for one server SKU."""
+
+    def __init__(
+        self,
+        sku: ServerSku,
+        frequency_model: Optional[FrequencyModel] = None,
+        power_model: Optional[PowerModel] = None,
+    ) -> None:
+        self.sku = sku
+        self.frequency_model = frequency_model or FrequencyModel()
+        self.power_model = power_model or PowerModel()
+
+    def solve(
+        self,
+        chars: WorkloadCharacteristics,
+        cpu_util: float,
+        network_util: Optional[float] = None,
+        scaling_efficiency: float = 1.0,
+    ) -> SteadyState:
+        """Solve the steady state for a workload at a utilization level.
+
+        Args:
+            chars: workload characteristics.
+            cpu_util: fraction of logical-core time busy, in (0, 1].
+            network_util: NIC utilization if known; estimated from the
+                request rate and ``network_bytes_per_request`` otherwise.
+            scaling_efficiency: multiplicative throughput efficiency
+                measured by the workload simulation (scheduler overhead,
+                lock contention); 1.0 means perfect scaling.
+        """
+        if not 0.0 < cpu_util <= 1.0:
+            raise ValueError(f"cpu_util must be in (0, 1], got {cpu_util}")
+        if not 0.0 < scaling_efficiency <= 1.0:
+            raise ValueError(
+                f"scaling_efficiency must be in (0, 1], got {scaling_efficiency}"
+            )
+        cpu = self.sku.cpu
+        memory = self.sku.memory
+
+        active_cores = max(1, round(cpu.physical_cores * cpu_util))
+        miss_model = CacheMissModel(cpu.caches, active_cores=active_cores)
+        misses = miss_model.profile(chars)
+
+        freq_ghz = self.frequency_model.effective_ghz(
+            base_ghz=cpu.base_freq_ghz,
+            max_ghz=cpu.max_freq_ghz,
+            cpu_util=cpu_util,
+            kernel_frac=chars.kernel_frac,
+            vector_intensity=chars.vector_intensity,
+        )
+
+        smt_boost = 1.0 + (cpu.smt_throughput_factor - 1.0) * chars.smt_friendly
+        demand_gbps = 0.0
+        tmam = None
+        instr_rate = 0.0
+        for _ in range(_SOLVE_ITERATIONS):
+            latency_ns = memory.effective_latency_ns(demand_gbps)
+            memory_cost = (
+                latency_ns * freq_ghz / chars.memory_level_parallelism
+            )
+            tmam = tmam_from_misses(
+                chars,
+                misses,
+                pipeline_width=cpu.pipeline_width,
+                memory_cost_cycles=memory_cost,
+                uarch_efficiency=cpu.uarch_efficiency,
+                frontend_multiplier=cpu.frontend_penalty_multiplier,
+            )
+            ipc_thread = tmam.ipc_per_thread
+            instr_rate = (
+                cpu.physical_cores
+                * freq_ghz
+                * 1e9
+                * ipc_thread
+                * smt_boost
+                * cpu_util
+                * scaling_efficiency
+            )
+            line_bytes = cpu.caches.llc.line_bytes
+            demand_gbps = misses.llc_mpki / 1000.0 * instr_rate * line_bytes / 1e9
+            demand_gbps = min(demand_gbps, memory.peak_bw_gbps * 0.95)
+
+        assert tmam is not None
+        ipc_physical = tmam.ipc_per_thread * smt_boost
+        rps = instr_rate / chars.instructions_per_request
+
+        if network_util is None:
+            nic_bps = self.sku.network_gbps * 1e9 / 8.0
+            network_util = min(1.0, rps * chars.network_bytes_per_request / nic_bps)
+
+        bw_frac = min(1.0, demand_gbps / memory.peak_bw_gbps)
+        power = self.power_model.breakdown(
+            cpu_util=cpu_util,
+            freq_rel=freq_ghz / cpu.max_freq_ghz,
+            retiring_frac=tmam.retiring,
+            membw_frac=bw_frac,
+            network_util=network_util,
+            platform_activity=chars.platform_activity,
+            kernel_frac=chars.kernel_frac,
+            vector_intensity=chars.vector_intensity,
+        )
+
+        return SteadyState(
+            workload=chars.name,
+            sku=self.sku.name,
+            cpu_util=cpu_util,
+            kernel_frac=chars.kernel_frac,
+            effective_freq_ghz=freq_ghz,
+            misses=misses,
+            tmam=tmam,
+            ipc_per_physical_core=ipc_physical,
+            instructions_per_second=instr_rate,
+            memory_bandwidth_gbps=demand_gbps,
+            memory_bandwidth_fraction=bw_frac,
+            power=power,
+            power_watts=power.watts(self.sku.designed_power_w),
+            requests_per_second=rps,
+        )

@@ -1,0 +1,141 @@
+"""SKU-parameter sensitivity analysis (vendor guidance, Section 5.2).
+
+CPU vendors run DCPerf to decide which microarchitecture knob to turn
+next — the case study's vendor landed ~10 optimizations (cache
+replacement, uncore frequency, TLB policies) worth 38% on the web
+workload.  This module automates the first step of that loop: perturb
+one hardware parameter at a time and measure each workload's projected
+response, producing the tornado table that says *web wants I-cache,
+analytics wants memory bandwidth*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List
+
+from repro.hw.sku import ServerSku
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.projection import ProjectionEngine
+
+#: A knob transforms a SKU into a perturbed variant.
+Knob = Callable[[ServerSku, float], ServerSku]
+
+
+def _scale_l1i(sku: ServerSku, factor: float) -> ServerSku:
+    caches = sku.cpu.caches
+    l1i = replace(caches.l1i, size_kb=caches.l1i.size_kb * factor)
+    return replace(sku, cpu=replace(sku.cpu, caches=replace(caches, l1i=l1i)))
+
+
+def _scale_l2(sku: ServerSku, factor: float) -> ServerSku:
+    caches = sku.cpu.caches
+    l2 = replace(caches.l2, size_kb=caches.l2.size_kb * factor)
+    return replace(sku, cpu=replace(sku.cpu, caches=replace(caches, l2=l2)))
+
+
+def _scale_llc(sku: ServerSku, factor: float) -> ServerSku:
+    caches = sku.cpu.caches
+    llc = replace(caches.llc, size_kb=caches.llc.size_kb * factor)
+    return replace(sku, cpu=replace(sku.cpu, caches=replace(caches, llc=llc)))
+
+
+def _scale_membw(sku: ServerSku, factor: float) -> ServerSku:
+    memory = replace(sku.memory, peak_bw_gbps=sku.memory.peak_bw_gbps * factor)
+    return replace(sku, memory=memory)
+
+
+def _scale_mem_latency(sku: ServerSku, factor: float) -> ServerSku:
+    memory = replace(sku.memory, latency_ns=sku.memory.latency_ns * factor)
+    return replace(sku, memory=memory)
+
+
+def _scale_frequency(sku: ServerSku, factor: float) -> ServerSku:
+    cpu = replace(
+        sku.cpu,
+        base_freq_ghz=sku.cpu.base_freq_ghz * factor,
+        max_freq_ghz=sku.cpu.max_freq_ghz * factor,
+    )
+    return replace(sku, cpu=cpu)
+
+
+def _scale_replacement_quality(sku: ServerSku, factor: float) -> ServerSku:
+    caches = sku.cpu.caches.with_replacement_quality(
+        sku.cpu.caches.replacement_quality * factor
+    )
+    return replace(sku, cpu=replace(sku.cpu, caches=caches))
+
+
+#: The knobs a vendor can realistically turn, by name.
+STANDARD_KNOBS: Dict[str, Knob] = {
+    "l1i_size": _scale_l1i,
+    "l2_size": _scale_l2,
+    "llc_size": _scale_llc,
+    "memory_bandwidth": _scale_membw,
+    "memory_latency": _scale_mem_latency,
+    "frequency": _scale_frequency,
+    "replacement_quality": _scale_replacement_quality,
+}
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Projected throughput response to one knob for one workload."""
+
+    workload: str
+    knob: str
+    factor: float
+    baseline_ips: float
+    perturbed_ips: float
+
+    @property
+    def relative_gain(self) -> float:
+        return self.perturbed_ips / self.baseline_ips - 1.0
+
+
+def sensitivity_sweep(
+    sku: ServerSku,
+    workloads: Dict[str, WorkloadCharacteristics],
+    cpu_utils: Dict[str, float],
+    factor: float = 1.25,
+    knobs: Dict[str, Knob] = None,
+) -> List[SensitivityResult]:
+    """Perturb each knob by ``factor`` and project each workload.
+
+    ``memory_latency`` is perturbed by ``1/factor`` (less latency is
+    the improvement), so every row reads as "making this better by
+    25%".
+    """
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1.0 (an improvement)")
+    knobs = knobs or STANDARD_KNOBS
+    results: List[SensitivityResult] = []
+    for name, chars in workloads.items():
+        util = cpu_utils.get(name, 0.9)
+        baseline = ProjectionEngine(sku).solve(chars, cpu_util=util)
+        for knob_name, knob in knobs.items():
+            applied = 1.0 / factor if knob_name == "memory_latency" else factor
+            perturbed_sku = knob(sku, applied)
+            perturbed = ProjectionEngine(perturbed_sku).solve(chars, cpu_util=util)
+            results.append(
+                SensitivityResult(
+                    workload=name,
+                    knob=knob_name,
+                    factor=applied,
+                    baseline_ips=baseline.instructions_per_second,
+                    perturbed_ips=perturbed.instructions_per_second,
+                )
+            )
+    return results
+
+
+def top_knob_per_workload(
+    results: List[SensitivityResult],
+) -> Dict[str, str]:
+    """The knob each workload responds to most — the vendor's to-do list."""
+    best: Dict[str, SensitivityResult] = {}
+    for result in results:
+        current = best.get(result.workload)
+        if current is None or result.relative_gain > current.relative_gain:
+            best[result.workload] = result
+    return {name: result.knob for name, result in best.items()}

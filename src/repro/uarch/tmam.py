@@ -1,0 +1,126 @@
+"""Top-down Microarchitecture Analysis Method (TMAM) accounting.
+
+TMAM (Yasin, ISPASS'14; Section 4.2 of the paper) splits pipeline
+*slots* — ``width x cycles`` issue opportunities — into four buckets:
+frontend-bound, bad speculation, backend-bound, and retiring.  We
+account in cycles-per-kilo-instruction (CPK):
+
+* retiring CPK is the issue-limited minimum, ``1000 / width``;
+* frontend CPK is L1I misses times an effective fetch-bubble cost;
+* bad-speculation CPK is mispredicted branches times the flush cost;
+* backend CPK is data-side misses times overlap-adjusted latencies,
+  plus a workload dependency-stall term.
+
+Dividing each bucket by total CPK yields the slot fractions of
+Figure 4, and ``1000 / total CPK`` is the per-thread IPC of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.cache_model import MissProfile
+from repro.uarch.characteristics import WorkloadCharacteristics
+
+#: Effective frontend bubble cycles per L1I miss (partially hidden by
+#: the decoded-uop queue).
+FRONTEND_MISS_COST = 8.6
+#: Pipeline flush + refill cost per mispredicted branch.
+MISPREDICT_COST = 15.0
+#: Effective backend cost per L1D miss that hits L2 (mostly hidden).
+L1D_MISS_COST = 0.35
+#: Effective backend cost per L2 miss that hits LLC.
+L2_MISS_COST = 2.6
+#: Micro-ops per retired instruction; TMAM retiring counts uop slots.
+#: This value makes the paper's Figure 4 (retiring fraction) and
+#: Figure 6 (IPC) mutually consistent on a 4-wide SMT2 core.
+UOPS_PER_INSTRUCTION = 1.25
+
+
+@dataclass(frozen=True)
+class TmamProfile:
+    """Slot fractions (sum to 1) plus the CPK they derive from."""
+
+    frontend: float
+    bad_speculation: float
+    backend: float
+    retiring: float
+    cycles_per_kinstr: float
+
+    def __post_init__(self) -> None:
+        total = self.frontend + self.bad_speculation + self.backend + self.retiring
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"TMAM fractions must sum to 1, got {total}")
+
+    @property
+    def ipc_per_thread(self) -> float:
+        """Instructions per cycle for a single hardware thread."""
+        return 1000.0 / self.cycles_per_kinstr
+
+    def as_dict(self) -> dict:
+        return {
+            "frontend": self.frontend,
+            "bad_speculation": self.bad_speculation,
+            "backend": self.backend,
+            "retiring": self.retiring,
+        }
+
+
+def tmam_from_misses(
+    chars: WorkloadCharacteristics,
+    misses: MissProfile,
+    pipeline_width: int,
+    memory_cost_cycles: float,
+    uarch_efficiency: float = 1.0,
+    frontend_multiplier: float = 1.0,
+) -> TmamProfile:
+    """Build the TMAM profile for one workload on one core design.
+
+    Args:
+        chars: workload characteristics vector.
+        misses: hierarchy miss profile from :class:`CacheMissModel`.
+        pipeline_width: issue slots per cycle.
+        memory_cost_cycles: effective stall cycles charged per LLC miss
+            (DRAM latency divided by the workload's memory-level
+            parallelism, including bandwidth-contention inflation).
+        uarch_efficiency: generation-quality divisor on stall costs.
+        frontend_multiplier: per-CPU scaling of the L1I miss cost (>= 1;
+            models instruction-fetch pathologies).
+    """
+    if pipeline_width < 1:
+        raise ValueError("pipeline_width must be >= 1")
+    if uarch_efficiency <= 0:
+        raise ValueError("uarch_efficiency must be positive")
+
+    retire_cpk = 1000.0 * UOPS_PER_INSTRUCTION / pipeline_width
+    # Fetch pathologies (mis-tuned i-prefetch, page-size blowups) bite
+    # in proportion to the code footprint — tiny-footprint workloads
+    # barely notice, multi-MB web codebases collapse.
+    footprint_weight = chars.code_footprint_kb / (chars.code_footprint_kb + 400.0)
+    pathology = 1.0 + (frontend_multiplier - 1.0) * footprint_weight
+    frontend_cpk = (
+        misses.l1i_stall_mpki * FRONTEND_MISS_COST * chars.frontend_overlap
+        * pathology
+        + chars.frontend_extra_cpk * pathology
+    ) / uarch_efficiency
+    bad_spec_cpk = (
+        chars.branch_per_kinstr
+        * chars.branch_mispredict_rate
+        * MISPREDICT_COST
+        / uarch_efficiency
+    )
+    backend_cpk = (
+        misses.l1d_mpki * L1D_MISS_COST
+        + misses.l2_mpki * L2_MISS_COST
+        + misses.llc_mpki * memory_cost_cycles
+        + chars.dependency_cpk
+    ) / uarch_efficiency
+
+    total_cpk = retire_cpk + frontend_cpk + bad_spec_cpk + backend_cpk
+    return TmamProfile(
+        frontend=frontend_cpk / total_cpk,
+        bad_speculation=bad_spec_cpk / total_cpk,
+        backend=backend_cpk / total_cpk,
+        retiring=retire_cpk / total_cpk,
+        cycles_per_kinstr=total_cpk,
+    )

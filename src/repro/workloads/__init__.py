@@ -1,0 +1,36 @@
+"""Workload models: the six DCPerf benchmarks, their production
+counterparts, SPEC CPU 2006/2017, and CloudSuite comparators.
+
+Each workload couples a calibrated characteristics vector (what the
+PMU would see) with an event-level concurrency model (how the software
+is built: thread pools, processes, fanout, cache hit/miss paths) and
+runs on a simulated server (:mod:`repro.workloads.runner`).
+"""
+
+from repro.workloads.base import RunConfig, Workload, WorkloadResult
+from repro.workloads.profiles import (
+    BENCHMARK_PROFILES,
+    BENCHMARK_TO_PRODUCTION,
+    PRODUCTION_PROFILES,
+    SPEC2017_PROFILES,
+    get_profile,
+)
+from repro.workloads.registry import (
+    dcperf_benchmarks,
+    get_workload,
+    production_counterparts,
+)
+
+__all__ = [
+    "RunConfig",
+    "Workload",
+    "WorkloadResult",
+    "BENCHMARK_PROFILES",
+    "PRODUCTION_PROFILES",
+    "SPEC2017_PROFILES",
+    "BENCHMARK_TO_PRODUCTION",
+    "get_profile",
+    "get_workload",
+    "dcperf_benchmarks",
+    "production_counterparts",
+]

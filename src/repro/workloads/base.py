@@ -1,0 +1,134 @@
+"""Workload base types: run configuration, results, and the ABC."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hw.sku import ServerSku, get_sku
+from repro.oskernel.kernel import KernelVersion, get_kernel
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.projection import SteadyState
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to run a benchmark.
+
+    ``load_scale`` multiplies the workload's default offered load
+    (1.0 = the load that saturates the benchmark's target operating
+    point); ``batch`` lets one simulated request represent ``batch``
+    production requests for very-high-RPS workloads.
+    """
+
+    sku_name: str = "SKU2"
+    kernel_version: str = "6.9"
+    seed: int = 7
+    warmup_seconds: float = 0.5
+    measure_seconds: float = 2.0
+    load_scale: float = 1.0
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.warmup_seconds < 0 or self.measure_seconds <= 0:
+            raise ValueError("invalid measurement window")
+        if self.load_scale <= 0:
+            raise ValueError("load_scale must be positive")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+    @property
+    def sku(self) -> ServerSku:
+        return get_sku(self.sku_name)
+
+    @property
+    def kernel(self) -> KernelVersion:
+        return get_kernel(self.kernel_version)
+
+
+@dataclass
+class WorkloadResult:
+    """Everything one benchmark run reports."""
+
+    workload: str
+    sku: str
+    kernel: str
+    throughput_rps: float
+    latency: Dict[str, float]
+    cpu_util: float
+    kernel_util: float
+    scaling_efficiency: float
+    steady: Optional[SteadyState] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+    #: Time series of (sim seconds, cpu utilization) samples over the
+    #: measurement window — what the paper's time-series hooks record.
+    timeline: list = field(default_factory=list)
+
+    @property
+    def power_watts(self) -> float:
+        if self.steady is None:
+            raise ValueError("no steady-state attached to this result")
+        return self.steady.power_watts
+
+    def perf_per_watt(self) -> float:
+        """Throughput per watt, the Figure 14 metric."""
+        return self.throughput_rps / self.power_watts
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "workload": self.workload,
+            "sku": self.sku,
+            "kernel": self.kernel,
+            "throughput_rps": self.throughput_rps,
+            "latency": dict(self.latency),
+            "cpu_util": self.cpu_util,
+            "kernel_util": self.kernel_util,
+            "scaling_efficiency": self.scaling_efficiency,
+            "extra": dict(self.extra),
+            "timeline": [list(point) for point in self.timeline],
+        }
+        if self.steady is not None:
+            out["uarch"] = {
+                "ipc_per_physical_core": self.steady.ipc_per_physical_core,
+                "l1i_mpki": self.steady.misses.l1i_mpki,
+                "llc_mpki": self.steady.misses.llc_mpki,
+                "membw_gbps": self.steady.memory_bandwidth_gbps,
+                "freq_ghz": self.steady.effective_freq_ghz,
+                "tmam": self.steady.tmam.as_dict(),
+                "power": self.steady.power.as_dict(),
+                "power_watts": self.steady.power_watts,
+            }
+        return out
+
+
+class Workload(abc.ABC):
+    """A runnable workload model."""
+
+    #: Unique name, e.g. ``"taobench"``.
+    name: str = "abstract"
+    #: Table 1 category: web / ranking / caching / bigdata / media.
+    category: str = "abstract"
+    #: What the benchmark's headline number means, e.g. ``"peak RPS"``.
+    metric_name: str = "requests/s"
+
+    @property
+    @abc.abstractmethod
+    def characteristics(self) -> WorkloadCharacteristics:
+        """The calibrated characteristics vector."""
+
+    @abc.abstractmethod
+    def run(self, config: RunConfig) -> WorkloadResult:
+        """Execute the benchmark and report results."""
+
+    def describe(self) -> Dict[str, object]:
+        chars = self.characteristics
+        return {
+            "name": self.name,
+            "category": self.category,
+            "metric": self.metric_name,
+            "instructions_per_request": chars.instructions_per_request,
+            "thread_core_ratio": chars.thread_core_ratio,
+            "rpc_fanout": chars.rpc_fanout,
+            "tax_fraction": chars.tax_profile.tax_fraction,
+        }

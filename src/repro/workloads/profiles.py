@@ -1,0 +1,249 @@
+"""Calibrated characteristics for every modeled workload.
+
+Combines the published fidelity targets (:mod:`repro.workloads.targets`)
+with workload structure (Table 1 and the Section 3.2 benchmark
+descriptions) through the closed-form calibrator
+(:func:`repro.uarch.calibrate.calibrate`).  The result is a registry of
+:class:`WorkloadCharacteristics` for the six DCPerf benchmarks, their
+production counterparts, and the SPEC CPU 2006/2017 comparators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.uarch.calibrate import (
+    FidelityTargets,
+    StructuralParams,
+    calibrate,
+)
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.workloads.targets import (
+    BENCHMARK_TARGETS,
+    FIG12_TAX_PROFILES,
+    PRODUCTION_TARGETS,
+    SPEC2017_TARGETS,
+)
+
+# --- structural parameters per workload category ------------------------------
+# Instructions per request are set so the SKU2 request rates land on
+# Table 1's per-server orders of magnitude given the measured
+# instruction rates; thread-to-core ratios and fanouts come straight
+# from Table 1.
+
+_STRUCTURES: Dict[str, StructuralParams] = {
+    # TAO-style caching: tiny requests, heavy context switching, the
+    # instruction count includes the kernel network path.
+    "taobench": StructuralParams(
+        instructions_per_request=48_000,
+        thread_core_ratio=10,
+        rpc_fanout=10,
+        switches_per_kinstr=1.55,
+        mem_refs_per_kinstr=300,
+        locality_beta=0.55,
+        memory_level_parallelism=8.0,
+        network_bytes_per_request=1_200,
+        tax_shares=FIG12_TAX_PROFILES["taobench"],
+    ),
+    "cache-prod": StructuralParams(
+        instructions_per_request=52_000,
+        thread_core_ratio=10,
+        rpc_fanout=10,
+        switches_per_kinstr=1.65,
+        mem_refs_per_kinstr=320,
+        locality_beta=0.55,
+        memory_level_parallelism=8.0,
+        network_bytes_per_request=1_400,
+        tax_shares=FIG12_TAX_PROFILES["cache-prod"],
+    ),
+    # Newsfeed ranking: large requests, wide RPC fanout, SLO-bound.
+    "feedsim": StructuralParams(
+        instructions_per_request=6e8,
+        thread_core_ratio=10,
+        rpc_fanout=10,
+        switches_per_kinstr=0.05,
+        mem_refs_per_kinstr=330,
+        locality_beta=0.50,
+        memory_level_parallelism=14.0,
+        network_bytes_per_request=120_000,
+        tax_shares=FIG12_TAX_PROFILES["feedsim"],
+    ),
+    "ranking-prod": StructuralParams(
+        instructions_per_request=6e8,
+        thread_core_ratio=10,
+        rpc_fanout=10,
+        switches_per_kinstr=0.06,
+        mem_refs_per_kinstr=330,
+        locality_beta=0.50,
+        memory_level_parallelism=14.0,
+        network_bytes_per_request=140_000,
+        tax_shares=FIG12_TAX_PROFILES["ranking-prod"],
+    ),
+    # Instagram-style web: multi-process Python, large code footprint.
+    "djangobench": StructuralParams(
+        instructions_per_request=2.5e8,
+        serial_fraction=0.034,
+        thread_core_ratio=100,
+        rpc_fanout=100,
+        switches_per_kinstr=0.02,
+        mem_refs_per_kinstr=340,
+        locality_beta=0.60,
+        memory_level_parallelism=10.0,
+        network_bytes_per_request=60_000,
+        tax_shares=FIG12_TAX_PROFILES["fbweb-prod"],
+    ),
+    "igweb-prod": StructuralParams(
+        instructions_per_request=2.5e8,
+        serial_fraction=0.034,
+        thread_core_ratio=100,
+        rpc_fanout=100,
+        switches_per_kinstr=0.02,
+        mem_refs_per_kinstr=340,
+        locality_beta=0.60,
+        memory_level_parallelism=10.0,
+        network_bytes_per_request=70_000,
+        tax_shares=FIG12_TAX_PROFILES["fbweb-prod"],
+    ),
+    # Facebook-style web on HHVM: threaded, biggest fanout.
+    "mediawiki": StructuralParams(
+        instructions_per_request=1.5e8,
+        serial_fraction=0.034,
+        thread_core_ratio=100,
+        rpc_fanout=100,
+        switches_per_kinstr=0.02,
+        mem_refs_per_kinstr=350,
+        locality_beta=0.60,
+        memory_level_parallelism=10.0,
+        network_bytes_per_request=80_000,
+        tax_shares=FIG12_TAX_PROFILES["mediawiki"],
+    ),
+    "fbweb-prod": StructuralParams(
+        instructions_per_request=1.5e8,
+        serial_fraction=0.034,
+        thread_core_ratio=100,
+        rpc_fanout=100,
+        switches_per_kinstr=0.02,
+        mem_refs_per_kinstr=350,
+        locality_beta=0.60,
+        memory_level_parallelism=10.0,
+        network_bytes_per_request=90_000,
+        tax_shares=FIG12_TAX_PROFILES["fbweb-prod"],
+    ),
+    # Warehouse queries: vectorized scans, one task per core.
+    "sparkbench": StructuralParams(
+        instructions_per_request=2.4e10,
+        thread_core_ratio=1,
+        rpc_fanout=10,
+        switches_per_kinstr=0.01,
+        mem_refs_per_kinstr=360,
+        locality_beta=0.45,
+        memory_level_parallelism=40.0,
+        network_bytes_per_request=8_000_000,
+        tax_shares=FIG12_TAX_PROFILES["sparkbench"],
+    ),
+    "spark-prod": StructuralParams(
+        instructions_per_request=2.4e10,
+        thread_core_ratio=1,
+        rpc_fanout=10,
+        switches_per_kinstr=0.01,
+        mem_refs_per_kinstr=360,
+        locality_beta=0.45,
+        memory_level_parallelism=40.0,
+        network_bytes_per_request=9_000_000,
+        tax_shares=FIG12_TAX_PROFILES["spark-prod"],
+    ),
+    # Video transcode: per-core ffmpeg instances, zero fanout.
+    "videotranscode": StructuralParams(
+        instructions_per_request=2e9,
+        thread_core_ratio=1,
+        rpc_fanout=0,
+        switches_per_kinstr=0.005,
+        mem_refs_per_kinstr=320,
+        locality_beta=0.50,
+        memory_level_parallelism=24.0,
+        network_bytes_per_request=2_000_000,
+    ),
+    "video-prod": StructuralParams(
+        instructions_per_request=2e9,
+        thread_core_ratio=1,
+        rpc_fanout=0,
+        switches_per_kinstr=0.005,
+        mem_refs_per_kinstr=320,
+        locality_beta=0.50,
+        memory_level_parallelism=24.0,
+        network_bytes_per_request=2_500_000,
+    ),
+}
+
+#: SPEC benchmarks share one structure: single-process rate runs.
+_SPEC_STRUCTURE = StructuralParams(
+    instructions_per_request=1e9,
+    thread_core_ratio=1,
+    rpc_fanout=0,
+    switches_per_kinstr=0.001,
+    mem_refs_per_kinstr=380,
+    locality_beta=0.50,
+    memory_level_parallelism=10.0,
+    network_bytes_per_request=0.001,
+)
+
+#: Per-SPEC-benchmark MLP overrides: pointer chasers have low MLP,
+#: streaming codes high MLP.
+_SPEC_MLP: Dict[str, float] = {
+    "505.mcf": 4.0,
+    "520.omnetpp": 5.0,
+    "523.xalancbmk": 7.0,
+    "502.gcc": 12.0,
+    "525.x264": 24.0,
+    "548.exchange2": 10.0,
+}
+
+
+def _build(
+    targets: Dict[str, FidelityTargets],
+    default_structure: StructuralParams = None,
+) -> Dict[str, WorkloadCharacteristics]:
+    out: Dict[str, WorkloadCharacteristics] = {}
+    for name, target in targets.items():
+        structure = _STRUCTURES.get(name, default_structure)
+        if structure is None:
+            raise KeyError(f"no structural parameters for workload {name!r}")
+        out[name] = calibrate(target, structure)
+    return out
+
+
+def _build_spec2017() -> Dict[str, WorkloadCharacteristics]:
+    out: Dict[str, WorkloadCharacteristics] = {}
+    for name, target in SPEC2017_TARGETS.items():
+        structure = _SPEC_STRUCTURE
+        if name in _SPEC_MLP:
+            from dataclasses import replace
+
+            structure = replace(
+                structure, memory_level_parallelism=_SPEC_MLP[name]
+            )
+        out[name] = calibrate(target, structure)
+    return out
+
+
+BENCHMARK_PROFILES: Dict[str, WorkloadCharacteristics] = _build(BENCHMARK_TARGETS)
+PRODUCTION_PROFILES: Dict[str, WorkloadCharacteristics] = _build(PRODUCTION_TARGETS)
+SPEC2017_PROFILES: Dict[str, WorkloadCharacteristics] = _build_spec2017()
+
+#: Maps each DCPerf benchmark to the production workload it models.
+BENCHMARK_TO_PRODUCTION: Dict[str, str] = {
+    "taobench": "cache-prod",
+    "feedsim": "ranking-prod",
+    "djangobench": "igweb-prod",
+    "mediawiki": "fbweb-prod",
+    "sparkbench": "spark-prod",
+    "videotranscode": "video-prod",
+}
+
+
+def get_profile(name: str) -> WorkloadCharacteristics:
+    """Look up any calibrated profile by workload name."""
+    for registry in (BENCHMARK_PROFILES, PRODUCTION_PROFILES, SPEC2017_PROFILES):
+        if name in registry:
+            return registry[name]
+    raise KeyError(f"unknown workload profile {name!r}")

@@ -1,0 +1,113 @@
+"""Workload registry: name -> constructor, with lazy imports.
+
+Lazy so that importing one workload module does not pull in every
+other (and so the package ``__init__`` stays cycle-free).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import Workload
+
+
+def _taobench() -> Workload:
+    from repro.workloads.taobench import TaoBench
+
+    return TaoBench()
+
+
+def _feedsim() -> Workload:
+    from repro.workloads.feedsim import FeedSim
+
+    return FeedSim()
+
+
+def _djangobench() -> Workload:
+    from repro.workloads.djangobench import DjangoBench
+
+    return DjangoBench()
+
+
+def _mediawiki() -> Workload:
+    from repro.workloads.mediawiki import MediaWiki
+
+    return MediaWiki()
+
+
+def _sparkbench() -> Workload:
+    from repro.workloads.sparkbench import SparkBench
+
+    return SparkBench()
+
+
+def _videotranscode() -> Workload:
+    from repro.workloads.videotranscode import VideoTranscodeBench
+
+    return VideoTranscodeBench()
+
+
+def _aibench() -> Workload:
+    from repro.workloads.aibench import AiBench
+
+    return AiBench()
+
+
+_FACTORIES: Dict[str, Callable[[], Workload]] = {
+    "taobench": _taobench,
+    "feedsim": _feedsim,
+    "djangobench": _djangobench,
+    "mediawiki": _mediawiki,
+    "sparkbench": _sparkbench,
+    "videotranscode": _videotranscode,
+    "aibench": _aibench,
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Instantiate a DCPerf benchmark or production counterpart.
+
+    Production counterparts use the ``<benchmark>:prod`` naming, e.g.
+    ``taobench:prod`` runs the benchmark's structure with the
+    production workload's calibrated profile.
+    """
+    if name.endswith(":prod"):
+        base = name[: -len(":prod")]
+        return _production_variant(base)
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def _production_variant(base: str) -> Workload:
+    from repro.workloads.production import production_workload
+
+    return production_workload(base)
+
+
+def dcperf_benchmarks() -> List[str]:
+    """Names of the benchmarks in the DCPerf suite, in Table 1 order."""
+    return [
+        "mediawiki",
+        "djangobench",
+        "feedsim",
+        "taobench",
+        "sparkbench",
+        "videotranscode",
+    ]
+
+
+def production_counterparts() -> List[str]:
+    """Names of the production-counterpart variants."""
+    return [f"{name}:prod" for name in dcperf_benchmarks()]
+
+
+def extension_benchmarks() -> List[str]:
+    """Benchmarks beyond the paper's published six.
+
+    ``aibench`` implements the paper's stated future work (Section 8:
+    AI-related workloads); it is not part of the scored default suite.
+    """
+    return ["aibench"]

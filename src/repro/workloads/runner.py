@@ -1,0 +1,305 @@
+"""Shared discrete-event execution harness.
+
+Couples the analytical model (service rates) with the event-level
+concurrency structure (thread pools, queues, schedulers).  The split of
+responsibilities:
+
+* :class:`ServerModel` — converts a workload's instruction counts into
+  core-seconds using the projection engine's IPC and frequency for the
+  (workload, SKU) pair.
+* :class:`ThreadPool` — a worker pool pulling work items off a queue;
+  models UWSGI worker processes, HHVM threads, TAO fast/slow pools.
+* :class:`BenchmarkHarness` — wires a load generator to a handler,
+  runs warmup + measurement windows, and assembles a
+  :class:`WorkloadResult` with both simulated observations (throughput,
+  latency, utilization) and model-derived microarchitecture metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional
+
+from repro.loadgen.generators import Handler, OpenLoopGenerator, Request
+from repro.loadgen.recorder import LatencyRecorder
+from repro.oskernel.kernel import KernelVersion
+from repro.oskernel.scheduler import CpuScheduler
+from repro.hw.sku import ServerSku
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngStreams
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.projection import ProjectionEngine, SteadyState
+from repro.workloads.base import RunConfig, WorkloadResult
+
+
+@dataclass
+class ServerModel:
+    """Analytic rates for one (workload, SKU, kernel) combination."""
+
+    sku: ServerSku
+    kernel: KernelVersion
+    chars: WorkloadCharacteristics
+    util_hint: float = 0.9
+
+    def __post_init__(self) -> None:
+        self.engine = ProjectionEngine(self.sku)
+        state = self.engine.solve(self.chars, cpu_util=self.util_hint)
+        self.effective_freq_ghz = state.effective_freq_ghz
+        self.ipc_thread = state.tmam.ipc_per_thread
+        cpu = self.sku.cpu
+        smt_boost = 1.0 + (cpu.smt_throughput_factor - 1.0) * self.chars.smt_friendly
+        #: Instructions per second one logical core sustains.
+        self.per_logical_ips = (
+            self.ipc_thread
+            * self.effective_freq_ghz
+            * 1e9
+            * (smt_boost / cpu.smt)
+        )
+        #: Instructions per second the whole server sustains at 100%.
+        self.server_ips = self.per_logical_ips * cpu.logical_cores
+
+    def service_seconds(self, instructions: float) -> float:
+        """Core-seconds one logical core needs for an instruction count."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        return instructions / self.per_logical_ips
+
+    def capacity_rps(self) -> float:
+        """Unimpeded request capacity (no queueing/scheduler losses)."""
+        return self.server_ips / self.chars.instructions_per_request
+
+    def steady_state(
+        self, cpu_util: float, scaling_efficiency: float
+    ) -> SteadyState:
+        """Model-side metrics at the measured operating point."""
+        return self.engine.solve(
+            self.chars,
+            cpu_util=max(0.01, min(1.0, cpu_util)),
+            scaling_efficiency=max(0.01, min(1.0, scaling_efficiency)),
+        )
+
+
+class ThreadPool:
+    """A pool of worker threads fed by a FIFO queue.
+
+    Work items are generator factories; a worker runs one item at a
+    time to completion.  Queue depth is observable for backpressure
+    modeling.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        num_threads: int,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError(f"{name}: num_threads must be >= 1")
+        self.env = env
+        self.name = name
+        self.num_threads = num_threads
+        self.queue: Store = Store(env)
+        self.completed = 0
+        for _ in range(num_threads):
+            env.process(self._worker())
+
+    def submit(self, work: Callable[[], Generator]) -> Event:
+        """Queue a work item; the returned event fires on completion."""
+        done = self.env.event()
+        self.queue.put((work, done))
+        return done
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    def _worker(self) -> Generator:
+        while True:
+            work, done = yield self.queue.get()
+            try:
+                yield from work()
+            except Exception as exc:  # propagate into the waiter
+                done.fail(exc)
+            else:
+                done.succeed()
+                self.completed += 1
+
+
+class BenchmarkHarness:
+    """One benchmark execution: environment, scheduler, measurement."""
+
+    #: Utilization sampling period for the timeline (sim seconds).
+    SAMPLE_PERIOD_S = 0.1
+
+    def __init__(self, config: RunConfig, chars: WorkloadCharacteristics) -> None:
+        self.config = config
+        self.chars = chars
+        self.sku = config.sku
+        self.kernel = config.kernel
+        self.env = Environment()
+        self.server = ServerModel(self.sku, self.kernel, chars)
+        cpu = self.sku.cpu
+        smt_boost = 1.0 + (cpu.smt_throughput_factor - 1.0) * chars.smt_friendly
+        self.scheduler = CpuScheduler(
+            env=self.env,
+            logical_cores=cpu.logical_cores,
+            freq_ghz=self.server.effective_freq_ghz,
+            kernel=self.kernel,
+            single_thread_speedup=max(1.0, cpu.smt / smt_boost),
+        )
+        self.recorder = LatencyRecorder()
+        self.rng = RngStreams(config.seed).spawn(chars.name)
+        self.timeline: list = []
+
+    # --- burst helpers --------------------------------------------------------
+    def burst(
+        self,
+        instructions: float,
+        kernel_frac: Optional[float] = None,
+        dispatches_per_request: int = 1,
+    ):
+        """Generator executing one CPU burst with kernel accounting.
+
+        ``dispatches_per_request`` is the number of production-side
+        scheduling events this burst represents per request (e.g. a
+        cache-miss path that naps on the backend wakes the thread
+        again); it multiplies with the batch factor.
+        """
+        kf = self.chars.kernel_frac if kernel_frac is None else kernel_frac
+        seconds = self.server.service_seconds(instructions) * self.config.batch
+        yield from self.scheduler.execute(
+            seconds * (1.0 - kf),
+            seconds * kf,
+            dispatches=self.config.batch * dispatches_per_request,
+        )
+
+    def make_pool(self, name: str, num_threads: int) -> ThreadPool:
+        return ThreadPool(self.env, name, num_threads)
+
+    # --- measurement ----------------------------------------------------------
+    def run_open_loop(
+        self,
+        handler: Handler,
+        offered_rps: float,
+        timeout_seconds: Optional[float] = None,
+    ) -> WorkloadResult:
+        """Drive ``handler`` with Poisson arrivals and measure.
+
+        ``offered_rps`` is in production requests/s; the generator
+        issues ``offered_rps / batch`` simulated arrivals per second.
+        """
+        generator = OpenLoopGenerator(
+            env=self.env,
+            rate_rps=offered_rps / self.config.batch,
+            handler=handler,
+            recorder=self.recorder,
+            rng=self.rng.stream("arrivals"),
+            timeout_seconds=timeout_seconds,
+        )
+        generator.start()
+        self.env.run(until=self.config.warmup_seconds)
+        self.recorder.reset()
+        self.scheduler.stats.reset(self.env.now)
+        self.env.process(self._sampler())
+        completed_before = generator.completed
+        self.env.run(until=self.config.warmup_seconds + self.config.measure_seconds)
+        completed = generator.completed - completed_before
+        return self._assemble(completed)
+
+    def _sampler(self) -> Generator:
+        """Record (time, utilization) samples during measurement."""
+        cores = self.sku.cpu.logical_cores
+        previous_busy = self.scheduler.stats.busy_seconds
+        while True:
+            yield self.env.timeout(self.SAMPLE_PERIOD_S)
+            busy = self.scheduler.stats.busy_seconds
+            window_util = min(
+                1.0, (busy - previous_busy) / (self.SAMPLE_PERIOD_S * cores)
+            )
+            previous_busy = busy
+            self.timeline.append((self.env.now, window_util))
+
+    def _assemble(self, completed_requests: int) -> WorkloadResult:
+        elapsed = self.config.measure_seconds
+        cores = self.sku.cpu.logical_cores
+        stats = self.scheduler.stats
+        cpu_util = stats.cpu_util(self.env.now, cores)
+        kernel_util = stats.kernel_util(self.env.now, cores)
+        busy = max(stats.busy_seconds, 1e-12)
+        efficiency = max(0.05, 1.0 - stats.overhead_seconds / busy)
+        throughput = completed_requests * self.config.batch / elapsed
+        steady = self.server.steady_state(cpu_util, efficiency)
+        return WorkloadResult(
+            timeline=list(self.timeline),
+            workload=self.chars.name,
+            sku=self.sku.name,
+            kernel=self.kernel.version,
+            throughput_rps=throughput,
+            latency=self.recorder.summary(),
+            cpu_util=cpu_util,
+            kernel_util=kernel_util,
+            scaling_efficiency=efficiency,
+            steady=steady,
+        )
+
+
+class InstanceSet:
+    """Multi-instance deployment with per-instance serialized sections.
+
+    DCPerf spawns multiple benchmark instances on many-core machines to
+    model production multi-tenancy (Section 2.2).  Each instance still
+    has a serialized slice per request — allocator locks, GC, the
+    master process — and, critically, that slice is *memory-latency
+    bound*: it runs at a rate set by frequency and DRAM latency, not by
+    the core's IPC improvements.  Wider/smarter cores therefore shrink
+    the parallel part of a request but not the serial part, which is
+    one reason production web workloads gain less from new many-core
+    SKUs than SPEC suggests (Figures 2/3).
+    """
+
+    #: Logical cores served by one instance (production sizing).
+    CORES_PER_INSTANCE = 36
+
+    def __init__(self, harness: "BenchmarkHarness") -> None:
+        self.harness = harness
+        logical = harness.sku.cpu.logical_cores
+        self.num_instances = max(
+            1, -(-logical // self.CORES_PER_INSTANCE)  # ceil division
+        )
+        self._locks = [
+            Resource(harness.env, capacity=1) for _ in range(self.num_instances)
+        ]
+        self._next = 0
+
+    def pick(self) -> int:
+        """Round-robin instance assignment for a new request."""
+        index = self._next % self.num_instances
+        self._next += 1
+        return index
+
+    def serial_seconds(self, instructions: float) -> float:
+        """Duration of a serialized slice: latency-bound, IPC-blind."""
+        freq_hz = self.harness.server.effective_freq_ghz * 1e9
+        return instructions / freq_hz * self.harness.config.batch
+
+    def serial_section(self, instance: int, instructions: float):
+        """Run a serialized slice under the instance's lock (generator)."""
+        lock = self._locks[instance]
+        grant = lock.request()
+        yield grant
+        try:
+            seconds = self.serial_seconds(instructions)
+            kf = self.harness.chars.kernel_frac
+            yield from self.harness.scheduler.execute(
+                seconds * (1.0 - kf), seconds * kf,
+                dispatches=self.harness.config.batch,
+            )
+        finally:
+            lock.release(grant)
+
+
+def poisson_thinning_rng(config: RunConfig, name: str) -> random.Random:
+    """Convenience: a named deterministic stream for a workload."""
+    return RngStreams(config.seed).spawn(name).stream("main")

@@ -1,0 +1,94 @@
+"""Operational scenarios: the region-failover load spike (Section 2.3).
+
+"This situation typically arises when some servers must handle a load
+spike due to another datacenter region failing entirely."  Budgeted
+power — the quantity datacenters actually reserve — is defined by this
+scenario, not by TDP.  The scenario runner executes a workload at its
+normal operating point and again at the post-failover load, and reports
+what procurement needs: the spike's power draw (is it within budget?)
+and its SLO behaviour (does the service survive?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.tco import budgeted_power_w
+from repro.workloads.base import RunConfig, Workload, WorkloadResult
+
+
+@dataclass(frozen=True)
+class SpikeOutcome:
+    """Results of the normal vs failover-spike comparison."""
+
+    workload: str
+    sku: str
+    normal: WorkloadResult
+    spiked: WorkloadResult
+    spike_multiplier: float
+    budgeted_power_w: float
+
+    @property
+    def power_headroom_w(self) -> float:
+        """Budgeted power minus the spike's draw (negative = violation)."""
+        return self.budgeted_power_w - self.spiked.power_watts
+
+    @property
+    def within_power_budget(self) -> bool:
+        return self.power_headroom_w >= 0.0
+
+    @property
+    def throughput_gain(self) -> float:
+        """How much extra traffic the spike actually served."""
+        if self.normal.throughput_rps <= 0:
+            return 0.0
+        return self.spiked.throughput_rps / self.normal.throughput_rps - 1.0
+
+    @property
+    def latency_inflation(self) -> float:
+        """p95 inflation under the spike (uses whatever p95 both report)."""
+        normal_p95 = self.normal.latency.get("p95")
+        spiked_p95 = self.spiked.latency.get("p95")
+        if not normal_p95 or not spiked_p95:
+            return 0.0
+        return spiked_p95 / normal_p95 - 1.0
+
+
+def run_failover_spike(
+    workload: Workload,
+    config: Optional[RunConfig] = None,
+    regions: int = 3,
+    spike_fraction: float = 0.95,
+) -> SpikeOutcome:
+    """Run the normal and post-failover operating points.
+
+    With ``regions`` regions sharing traffic evenly, losing one region
+    multiplies every survivor's load by ``regions / (regions - 1)``.
+    """
+    if regions < 2:
+        raise ValueError("need at least 2 regions for a failover scenario")
+    config = config or RunConfig()
+    spike_multiplier = regions / (regions - 1)
+
+    normal = workload.run(config)
+    spiked_config = RunConfig(
+        sku_name=config.sku_name,
+        kernel_version=config.kernel_version,
+        seed=config.seed,
+        warmup_seconds=config.warmup_seconds,
+        measure_seconds=config.measure_seconds,
+        load_scale=config.load_scale * spike_multiplier,
+        batch=config.batch,
+    )
+    spiked = workload.run(spiked_config)
+    return SpikeOutcome(
+        workload=workload.name,
+        sku=config.sku_name,
+        normal=normal,
+        spiked=spiked,
+        spike_multiplier=spike_multiplier,
+        budgeted_power_w=budgeted_power_w(
+            config.sku.designed_power_w, spike_fraction
+        ),
+    )

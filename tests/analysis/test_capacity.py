@@ -1,0 +1,84 @@
+"""Tests for capacity planning and procurement comparison."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.capacity import (
+    cheapest,
+    compare_procurement,
+    most_power_efficient,
+    servers_needed,
+)
+from repro.hw.tco import CostEffectiveness
+
+
+class TestServersNeeded:
+    def test_failover_headroom(self):
+        # 3 regions, 2 must carry 1000 rps at <= 100% of 10 rps/server:
+        # 50 servers per region x 3 regions.
+        assert servers_needed(1000.0, 10.0, target_utilization=1.0, regions=3) == 150
+
+    def test_utilization_target_inflates_fleet(self):
+        relaxed = servers_needed(1000.0, 10.0, target_utilization=1.0)
+        strict = servers_needed(1000.0, 10.0, target_utilization=0.5)
+        assert strict == 2 * relaxed
+
+    def test_more_regions_less_headroom(self):
+        few = servers_needed(1200.0, 10.0, regions=2)
+        many = servers_needed(1200.0, 10.0, regions=6)
+        # 2 regions: each sized for the FULL demand; 6 regions: 1/5th.
+        assert few > many
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            servers_needed(0.0, 10.0)
+        with pytest.raises(ValueError):
+            servers_needed(100.0, 0.0)
+        with pytest.raises(ValueError):
+            servers_needed(100.0, 10.0, regions=1)
+        with pytest.raises(ValueError):
+            servers_needed(100.0, 10.0, target_utilization=0.0)
+
+    @given(
+        demand=st.floats(1.0, 1e6),
+        capacity=st.floats(0.1, 1e4),
+        regions=st.integers(2, 8),
+    )
+    def test_fleet_survives_one_region_failure(self, demand, capacity, regions):
+        util = 0.8
+        total = servers_needed(demand, capacity, util, regions)
+        per_region = total // regions
+        surviving = per_region * (regions - 1)
+        assert surviving * capacity * util >= demand * 0.999
+
+
+def record(sku, perf, watts, tco):
+    return CostEffectiveness(
+        sku=sku, performance=perf, average_power_w=watts, tco_per_year_usd=tco
+    )
+
+
+class TestProcurementComparison:
+    def setup_method(self):
+        self.candidates = [
+            record("dense", 2000.0, 600.0, 6000.0),
+            record("efficient", 500.0, 120.0, 3500.0),
+        ]
+
+    def test_fleet_totals(self):
+        options = compare_procurement(self.candidates, total_demand=100_000.0)
+        dense = options["dense"]
+        assert dense.servers == servers_needed(100_000.0, 2000.0)
+        assert dense.fleet_power_w == dense.servers * 600.0
+        assert dense.fleet_tco_per_year_usd == dense.servers * 6000.0
+
+    def test_winners_can_differ(self):
+        options = compare_procurement(self.candidates, total_demand=100_000.0)
+        assert most_power_efficient(options) == "efficient"
+        assert cheapest(options) == "dense"
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            compare_procurement([], total_demand=100.0)

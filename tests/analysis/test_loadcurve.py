@@ -1,0 +1,69 @@
+"""Tests for load-response curves."""
+
+import pytest
+
+from repro.analysis.loadcurve import LoadCurve, LoadPoint, sweep_load
+from repro.workloads.base import RunConfig
+from repro.workloads.mediawiki import MediaWiki
+
+
+@pytest.fixture(scope="module")
+def mediawiki_curve():
+    config = RunConfig(
+        sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.6,
+        load_scale=0.4,  # start below the default saturating load
+    )
+    return sweep_load(MediaWiki(), config, [1.0, 1.5, 2.0, 3.0])
+
+
+class TestSweep:
+    def test_curve_shape(self, mediawiki_curve):
+        assert len(mediawiki_curve.points) == 4
+        assert mediawiki_curve.workload == "mediawiki"
+        # Utilization rises monotonically with offered load.
+        utils = [p.cpu_util for p in mediawiki_curve.points]
+        assert utils == sorted(utils)
+
+    def test_throughput_saturates(self, mediawiki_curve):
+        first = mediawiki_curve.points[0].throughput
+        peak = mediawiki_curve.peak_throughput()
+        assert peak > first  # load 1.0x of 0.4 base is below capacity
+        # Tripling offered load does not triple goodput.
+        assert mediawiki_curve.points[-1].throughput < 2.5 * first
+
+    def test_latency_rises_with_load(self, mediawiki_curve):
+        assert (
+            mediawiki_curve.points[-1].p95_seconds
+            > mediawiki_curve.points[0].p95_seconds
+        )
+
+    def test_knee_located(self, mediawiki_curve):
+        knee = mediawiki_curve.knee_load_scale()
+        assert 1.0 <= knee <= 3.0
+
+    def test_validation(self):
+        config = RunConfig(sku_name="SKU2")
+        with pytest.raises(ValueError):
+            sweep_load(MediaWiki(), config, [])
+        with pytest.raises(ValueError):
+            sweep_load(MediaWiki(), config, [2.0, 1.0])
+
+
+class TestCurveFeatures:
+    def make_curve(self, throughputs):
+        points = [
+            LoadPoint(load_scale=float(i + 1), throughput=t,
+                      cpu_util=min(1.0, 0.3 * (i + 1)), p95_seconds=0.1 * (i + 1))
+            for i, t in enumerate(throughputs)
+        ]
+        return LoadCurve(workload="w", sku="SKU2", points=points)
+
+    def test_degrades_past_knee(self):
+        degrading = self.make_curve([100.0, 200.0, 180.0, 120.0])
+        flat = self.make_curve([100.0, 200.0, 201.0, 199.0])
+        assert degrading.degrades_past_knee()
+        assert not flat.degrades_past_knee()
+
+    def test_saturated_flag(self):
+        point = LoadPoint(1.0, 10.0, cpu_util=0.99, p95_seconds=0.2)
+        assert point.saturated

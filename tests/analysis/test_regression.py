@@ -1,0 +1,64 @@
+"""Tests for suite regression detection — including the Section 5.3
+kernel-regression scenario end to end."""
+
+import pytest
+
+from repro.analysis.regression import Verdict, compare_suite_runs
+from repro.core.suite import DCPerfSuite
+
+
+@pytest.fixture(scope="module")
+def kernel_comparison():
+    """TaoBench-only suite on the 384-thread SKU, kernel 6.4 vs 6.9."""
+    suite = DCPerfSuite(benchmark_names=["taobench"], measure_seconds=0.8)
+    before = suite.run("SKU-384", kernel="6.4")
+    # Fresh suite so baselines re-run under the new kernel.
+    suite_after = DCPerfSuite(benchmark_names=["taobench"], measure_seconds=0.8)
+    after = suite_after.run("SKU-384", kernel="6.9")
+    return before, after
+
+
+class TestKernelScenario:
+    def test_kernel_upgrade_detected_as_improvement(self, kernel_comparison):
+        before, after = kernel_comparison
+        report = compare_suite_runs(before, after)
+        assert report.verdict is Verdict.IMPROVEMENT
+        tao = report.deltas[-1]
+        assert tao.benchmark == "taobench"
+        assert tao.relative_change > 0.25  # the Section 5.3 magnitude
+
+    def test_reverse_direction_is_regression(self, kernel_comparison):
+        before, after = kernel_comparison
+        report = compare_suite_runs(after, before)
+        assert report.verdict is Verdict.REGRESSION
+        assert report.worst().benchmark == "taobench"
+        assert len(report.regressions()) == 1
+
+
+class TestComparisonMechanics:
+    def test_self_comparison_neutral(self, kernel_comparison):
+        before, _ = kernel_comparison
+        report = compare_suite_runs(before, before)
+        assert report.verdict is Verdict.NEUTRAL
+        assert not report.regressions()
+        assert not report.improvements()
+        assert report.suite_relative_change == pytest.approx(0.0)
+
+    def test_mismatched_skus_rejected(self, kernel_comparison):
+        before, _ = kernel_comparison
+        other = DCPerfSuite(
+            benchmark_names=["taobench"], measure_seconds=0.5
+        ).run("SKU2")
+        with pytest.raises(ValueError, match="same SKU"):
+            compare_suite_runs(before, other)
+
+    def test_threshold_validation(self, kernel_comparison):
+        before, after = kernel_comparison
+        with pytest.raises(ValueError):
+            compare_suite_runs(before, after, noise_threshold=1.5)
+
+    def test_deltas_sorted_worst_first(self, kernel_comparison):
+        before, after = kernel_comparison
+        report = compare_suite_runs(before, after)
+        changes = [d.relative_change for d in report.deltas]
+        assert changes == sorted(changes)

@@ -1,0 +1,121 @@
+"""Tests for the byte-bounded LRU cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cachelib.lru import LruCache
+
+
+class TestBasics:
+    def test_get_miss(self):
+        cache = LruCache(100)
+        assert cache.get("missing") is None
+        assert cache.stats.misses == 1
+
+    def test_set_get(self):
+        cache = LruCache(100)
+        cache.set("k", b"value")
+        assert cache.get("k") == b"value"
+        assert cache.stats.hits == 1
+
+    def test_replace_updates_bytes(self):
+        cache = LruCache(100)
+        cache.set("k", b"12345")
+        cache.set("k", b"12")
+        assert cache.used_bytes == 2
+        assert len(cache) == 1
+
+    def test_value_type_enforced(self):
+        with pytest.raises(TypeError):
+            LruCache(100).set("k", "not bytes")
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(ValueError):
+            LruCache(10).set("k", b"x" * 11)
+
+    def test_delete(self):
+        cache = LruCache(100)
+        cache.set("k", b"v")
+        assert cache.delete("k")
+        assert not cache.delete("k")
+        assert cache.used_bytes == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LruCache(30)
+        cache.set("a", b"x" * 10)
+        cache.set("b", b"x" * 10)
+        cache.set("c", b"x" * 10)
+        cache.get("a")  # refresh a
+        cache.set("d", b"x" * 10)  # evicts b (oldest untouched)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_peek_does_not_refresh(self):
+        cache = LruCache(20)
+        cache.set("a", b"x" * 10)
+        cache.set("b", b"x" * 10)
+        cache.peek("a")
+        cache.set("c", b"x" * 10)  # evicts a despite the peek
+        assert "a" not in cache
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 30), st.integers(1, 40)), max_size=200
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_byte_budget_never_exceeded(self, ops):
+        cache = LruCache(100)
+        for key, size in ops:
+            cache.set(f"k{key}", b"x" * size)
+            assert cache.used_bytes <= 100
+        live = cache.items_snapshot()
+        assert sum(len(v) for _, v in live) == cache.used_bytes
+
+
+class TestTtl:
+    def test_expiry_is_a_miss(self):
+        clock = [0.0]
+        cache = LruCache(100, clock=lambda: clock[0])
+        cache.set("k", b"v", ttl_seconds=5.0)
+        assert cache.get("k") == b"v"
+        clock[0] = 6.0
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_purge_expired(self):
+        clock = [0.0]
+        cache = LruCache(100, clock=lambda: clock[0])
+        cache.set("a", b"v", ttl_seconds=1.0)
+        cache.set("b", b"v")
+        clock[0] = 2.0
+        assert cache.purge_expired() == 1
+        assert "b" in cache
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            LruCache(100).set("k", b"v", ttl_seconds=0.0)
+
+    def test_contains_respects_ttl(self):
+        clock = [0.0]
+        cache = LruCache(100, clock=lambda: clock[0])
+        cache.set("k", b"v", ttl_seconds=1.0)
+        assert "k" in cache
+        clock[0] = 2.0
+        assert "k" not in cache
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = LruCache(100)
+        cache.set("k", b"v")
+        cache.get("k")
+        cache.get("k")
+        cache.get("nope")
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate(self):
+        assert LruCache(100).stats.hit_rate == 0.0

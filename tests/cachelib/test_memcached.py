@@ -1,0 +1,58 @@
+"""Tests for the Memcached server model."""
+
+import pytest
+
+from repro.cachelib.memcached import MAX_VALUE_BYTES, MemcachedError, MemcachedServer
+
+
+class TestCommands:
+    def test_get_set_delete(self):
+        server = MemcachedServer()
+        server.set("key", b"value")
+        assert server.get("key") == b"value"
+        assert server.delete("key")
+        assert server.get("key") is None
+
+    def test_get_multi(self):
+        server = MemcachedServer()
+        server.set("a", b"1")
+        server.set("b", b"2")
+        out = server.get_multi(["a", "b", "c"])
+        assert out == {"a": b"1", "b": b"2"}
+
+    def test_flush_all(self):
+        server = MemcachedServer()
+        server.set("a", b"1")
+        server.flush_all()
+        assert server.get("a") is None
+
+    def test_stats_shape(self):
+        server = MemcachedServer()
+        server.set("a", b"1")
+        server.get("a")
+        server.get("b")
+        stats = server.stats()
+        assert stats["get_hits"] == 1
+        assert stats["get_misses"] == 1
+        assert stats["curr_items"] == 1
+        assert stats["cmd_set"] == 1
+
+
+class TestLimits:
+    def test_key_length_limit(self):
+        server = MemcachedServer()
+        with pytest.raises(MemcachedError):
+            server.get("k" * 251)
+
+    def test_key_whitespace_rejected(self):
+        with pytest.raises(MemcachedError):
+            MemcachedServer().get("bad key")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(MemcachedError):
+            MemcachedServer().get("")
+
+    def test_value_size_limit(self):
+        server = MemcachedServer(capacity_bytes=4 * 1024 * 1024)
+        with pytest.raises(MemcachedError):
+            server.set("k", b"x" * (MAX_VALUE_BYTES + 1))

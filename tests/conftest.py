@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.sku import get_sku
+from repro.sim.engine import Environment
+from repro.workloads.base import RunConfig
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def sku1():
+    return get_sku("SKU1")
+
+
+@pytest.fixture
+def sku2():
+    return get_sku("SKU2")
+
+
+@pytest.fixture
+def sku4():
+    return get_sku("SKU4")
+
+
+@pytest.fixture
+def quick_config() -> RunConfig:
+    """A short measurement window for fast workload tests."""
+    return RunConfig(
+        sku_name="SKU2",
+        kernel_version="6.9",
+        seed=7,
+        warmup_seconds=0.3,
+        measure_seconds=0.8,
+    )

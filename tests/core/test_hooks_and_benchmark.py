@@ -1,0 +1,166 @@
+"""Tests for hooks, the benchmark wrapper, and reporting."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.benchmark import Benchmark
+from repro.core.errors import BenchmarkNotFoundError, HookError
+from repro.core.hooks import (
+    CopyMoveHook,
+    Hook,
+    HookRegistry,
+    RunContext,
+    default_hooks,
+)
+from repro.core.report import format_table, load_json_report, write_json_report, system_info
+from repro.workloads.base import RunConfig
+
+
+@pytest.fixture(scope="module")
+def taobench_report():
+    bench = Benchmark.by_name("taobench")
+    return bench.run(
+        RunConfig(sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.6)
+    )
+
+
+class TestHookRegistry:
+    def test_default_hooks_cover_section_31(self):
+        names = set(default_hooks().names())
+        assert {"cpu_util", "memstat", "netstat", "cpufreq", "power",
+                "topdown", "uarch"} <= names
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_hooks()
+        with pytest.raises(HookError):
+            registry.register(registry._hooks["power"])
+
+    def test_unregister(self):
+        registry = default_hooks()
+        registry.unregister("power")
+        assert "power" not in registry.names()
+        with pytest.raises(HookError):
+            registry.unregister("power")
+
+    def test_custom_hook_extensibility(self, taobench_report):
+        """Section 3.1: new hooks can be added without touching core."""
+
+        class CountingHook(Hook):
+            name = "counting"
+
+            def __init__(self):
+                self.before = 0
+
+            def before_run(self, ctx):
+                self.before += 1
+
+            def after_run(self, ctx, result):
+                return {"throughput": result.throughput_rps}
+
+        registry = HookRegistry([CountingHook()])
+        bench = Benchmark.by_name("taobench")
+        report = bench.run(
+            RunConfig(sku_name="SKU2", warmup_seconds=0.2, measure_seconds=0.4),
+            hooks=registry,
+        )
+        assert "counting" in report.hook_sections
+        assert report.hook_sections["counting"]["throughput"] > 0
+
+
+class TestBuiltinHookSections(object):
+    def test_cpu_util_section(self, taobench_report):
+        section = taobench_report.hook_sections["cpu_util"]
+        assert 0 < section["total_pct"] <= 100
+        assert section["sys_pct"] <= section["total_pct"]
+
+    def test_power_section(self, taobench_report):
+        section = taobench_report.hook_sections["power"]
+        assert 0 < section["watts"] < 400
+        assert section["breakdown_pct"]["total"] < 100
+
+    def test_topdown_section_sums_to_100(self, taobench_report):
+        section = taobench_report.hook_sections["topdown"]
+        total = sum(
+            v for k, v in section.items()
+        )
+        assert total == pytest.approx(100.0, abs=0.1)
+
+    def test_uarch_section(self, taobench_report):
+        section = taobench_report.hook_sections["uarch"]
+        assert section["l1i_mpki"] > 0
+        assert section["ipc_per_physical_core"] > 0
+
+    def test_copymove_hook_writes_file(self, tmp_path, taobench_report):
+        hook = CopyMoveHook(destination=str(tmp_path))
+        ctx = RunContext(benchmark="taobench", config=RunConfig(sku_name="SKU2"))
+        section = hook.after_run(ctx, taobench_report.result)
+        assert len(section["copied"]) == 1
+        assert os.path.exists(section["copied"][0])
+        with open(section["copied"][0]) as fh:
+            payload = json.load(fh)
+        assert payload["workload"] == "taobench"
+
+
+class TestBenchmark:
+    def test_by_name_unknown(self):
+        with pytest.raises(BenchmarkNotFoundError):
+            Benchmark.by_name("nope")
+
+    def test_install_reports_description(self):
+        bench = Benchmark.by_name("sparkbench")
+        description = bench.install()
+        assert bench.installed
+        assert description["category"] == "bigdata"
+        assert description["dataset_groups"] > 0
+
+    def test_report_shape(self, taobench_report):
+        payload = taobench_report.as_dict()
+        assert payload["benchmark"] == "taobench"
+        assert payload["metric_value"] > 0
+        assert payload["system"]["sku"] == "SKU2"
+        assert "hooks" in payload
+
+
+class TestReporting:
+    def test_system_info_fields(self):
+        info = system_info(RunConfig(sku_name="SKU4", kernel_version="6.4"))
+        assert info["logical_cores"] == 176
+        assert info["kernel_version"] == "6.4"
+
+    def test_json_roundtrip(self, tmp_path, taobench_report):
+        path = str(tmp_path / "sub" / "report.json")
+        write_json_report(taobench_report.as_dict(), path)
+        loaded = load_json_report(path)
+        assert loaded["benchmark"] == "taobench"
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [["x", 1.234], ["y", 5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0]
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "extra"]])
+
+
+class TestTimelineHook:
+    def test_series_summarized(self, taobench_report):
+        section = taobench_report.hook_sections["timeline"]
+        assert section["samples"] > 0
+        assert 0.0 <= section["util_min"] <= section["util_mean"] <= section[
+            "util_max"
+        ] <= 1.0
+        assert len(section["series"]) == section["samples"]
+
+    def test_empty_timeline(self):
+        from repro.core.hooks import TimelineHook
+        from repro.workloads.base import WorkloadResult
+
+        result = WorkloadResult(
+            workload="w", sku="SKU1", kernel="6.9", throughput_rps=1.0,
+            latency={}, cpu_util=0.5, kernel_util=0.1,
+            scaling_efficiency=1.0,
+        )
+        ctx = RunContext(benchmark="w", config=RunConfig(sku_name="SKU1"))
+        assert TimelineHook().after_run(ctx, result) == {"samples": 0}

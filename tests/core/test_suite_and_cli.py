@@ -1,0 +1,81 @@
+"""Tests for suite orchestration and the CLI."""
+
+import json
+
+import pytest
+
+from repro.core.cli import main
+from repro.core.suite import DCPerfSuite, FLEET_POWER_WEIGHTS
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def small_suite(self):
+        return DCPerfSuite(
+            benchmark_names=["taobench", "videotranscode"],
+            measure_seconds=0.5,
+        )
+
+    def test_baseline_sku_scores_one(self, small_suite):
+        report = small_suite.run("SKU1")
+        for score in report.scores.values():
+            assert score == pytest.approx(1.0)
+        assert report.overall_score == pytest.approx(1.0)
+
+    def test_other_sku_scores_relative(self, small_suite):
+        report = small_suite.run("SKU2")
+        for score in report.scores.values():
+            assert score > 1.0
+        assert report.overall_score > 1.0
+
+    def test_perf_per_watt_reported(self, small_suite):
+        report = small_suite.run("SKU2")
+        assert all(v > 0 for v in report.perf_per_watt.values())
+
+    def test_production_weighting(self, small_suite):
+        report = small_suite.run("SKU2")
+        weighted = small_suite.production_score(report)
+        assert weighted > 0
+
+    def test_fleet_weights_sum_to_one(self):
+        assert sum(FLEET_POWER_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_report_serializable(self, small_suite):
+        report = small_suite.run("SKU1")
+        payload = report.as_dict()
+        json.dumps(payload, default=str)  # must not raise
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "taobench" in out
+        assert "mediawiki" in out
+
+    def test_skus(self, capsys):
+        assert main(["skus"]) == 0
+        out = capsys.readouterr().out
+        assert "SKU4" in out
+        assert "176" in out
+
+    def test_install(self, capsys):
+        assert main(["install", "-b", "taobench"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["category"] == "caching"
+
+    def test_run_json(self, tmp_path, capsys):
+        path = str(tmp_path / "out.json")
+        code = main([
+            "run", "-b", "videotranscode", "--sku", "SKU2",
+            "--measure-seconds", "0.5", "--json", path,
+        ])
+        assert code == 0
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["benchmark"] == "videotranscode"
+
+    def test_microbench(self, capsys):
+        assert main(["microbench"]) == 0
+        out = capsys.readouterr().out
+        assert "rpc_roundtrip" in out

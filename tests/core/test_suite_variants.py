@@ -1,0 +1,48 @@
+"""Tests for suite variants and package metadata."""
+
+import pytest
+
+import repro
+from repro.core.suite import DCPerfSuite
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "0.1.0"
+
+
+class TestProductionVariantSuite:
+    @pytest.fixture(scope="class")
+    def prod_suite(self):
+        return DCPerfSuite(
+            benchmark_names=["taobench"], variant=":prod", measure_seconds=0.5
+        )
+
+    def test_baseline_scores_one(self, prod_suite):
+        report = prod_suite.run("SKU1")
+        assert report.scores["taobench"] == pytest.approx(1.0)
+
+    def test_runs_production_profile(self, prod_suite):
+        report = prod_suite.run("SKU2")
+        assert report.reports["taobench"].result.workload == "cache-prod"
+        assert report.scores["taobench"] > 1.0
+
+    def test_production_score_weighting(self, prod_suite):
+        report = prod_suite.run("SKU2")
+        weighted = prod_suite.production_score(report)
+        # Single benchmark: weighted geomean equals its score.
+        assert weighted == pytest.approx(report.scores["taobench"])
+
+
+class TestKernelParameterizedSuite:
+    def test_suite_respects_kernel(self):
+        suite_old = DCPerfSuite(benchmark_names=["taobench"], measure_seconds=0.5)
+        suite_new = DCPerfSuite(benchmark_names=["taobench"], measure_seconds=0.5)
+        old = suite_old.run("SKU-384", kernel="6.4")
+        new = suite_new.run("SKU-384", kernel="6.9")
+        assert old.kernel == "6.4"
+        assert new.kernel == "6.9"
+        assert (
+            new.reports["taobench"].metric_value
+            > 1.1 * old.reports["taobench"].metric_value
+        )

@@ -1,0 +1,135 @@
+"""Tests for the mini query engine — correctness vs brute force."""
+
+import pytest
+
+from repro.data.generator import DatasetGenerator, GeneratedTable
+from repro.data.query import (
+    AggregateSpec,
+    QueryError,
+    group_aggregate,
+    hash_join,
+    run_warehouse_query,
+    scan_filter,
+)
+from repro.data.schema import (
+    Column,
+    ColumnKind,
+    TableSchema,
+    warehouse_dim_schema,
+    warehouse_fact_schema,
+)
+
+
+def small_table(columns):
+    """Build a GeneratedTable directly from a dict of column lists."""
+    schema = TableSchema(
+        "t",
+        [
+            Column(name, ColumnKind.INT64 if isinstance(v[0], int) else ColumnKind.DOUBLE)
+            for name, v in columns.items()
+        ],
+    )
+    return GeneratedTable(schema=schema, columns=dict(columns))
+
+
+class TestScanFilter:
+    def test_predicate_applied(self):
+        t = small_table({"x": [1, 2, 3, 4]})
+        rows = scan_filter(t, lambda r: r["x"] > 2)
+        assert [r["x"] for r in rows] == [3, 4]
+
+    def test_null_safe(self):
+        t = small_table({"x": [1, None, 3]})
+        rows = scan_filter(t, lambda r: r["x"] > 0)
+        assert [r["x"] for r in rows] == [1, 3]
+
+
+class TestHashJoin:
+    def test_inner_join(self):
+        left = [{"k": 1, "a": 10}, {"k": 2, "a": 20}, {"k": 9, "a": 90}]
+        right = small_table({"k": [1, 2, 3], "b": [100, 200, 300]})
+        joined = hash_join(left, right, "k", "k")
+        assert len(joined) == 2
+        assert joined[0]["b"] == 100
+        assert joined[0]["a"] == 10
+
+    def test_null_keys_dropped(self):
+        left = [{"k": None, "a": 1}]
+        right = small_table({"k": [1], "b": [9]})
+        assert hash_join(left, right, "k", "k") == []
+
+
+class TestGroupAggregate:
+    ROWS = [
+        {"g": "a", "v": 10, "c": 1},
+        {"g": "a", "v": 20, "c": 1},
+        {"g": "b", "v": 5, "c": 1},
+    ]
+
+    def test_sum_count_avg_max_min(self):
+        groups = group_aggregate(
+            self.ROWS,
+            "g",
+            [
+                AggregateSpec("sum", "v", "total"),
+                AggregateSpec("count", "c", "n"),
+                AggregateSpec("avg", "v", "mean"),
+                AggregateSpec("max", "v", "top"),
+                AggregateSpec("min", "v", "bottom"),
+            ],
+        )
+        a = groups["a"]
+        assert a["total"] == 30
+        assert a["n"] == 2
+        assert a["mean"] == pytest.approx(15.0)
+        assert a["top"] == 20
+        assert a["bottom"] == 10
+        assert groups["b"]["total"] == 5
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateSpec("median", "v", "out")
+
+
+class TestWarehouseQuery:
+    def test_matches_brute_force(self):
+        fact = DatasetGenerator(warehouse_fact_schema(), seed=11).generate(800)
+        dim = DatasetGenerator(warehouse_dim_schema(), seed=12).generate(200)
+        result = run_warehouse_query(fact, dim, min_spend=100.0)
+
+        # Brute force the same query.
+        dim_keys = {}
+        for i in range(dim.num_rows):
+            row = dim.row(i)
+            dim_keys[row["campaign_id"]] = row
+        expected_spend = {}
+        for i in range(fact.num_rows):
+            row = fact.row(i)
+            if (
+                row["spend"] is not None
+                and row["spend"] >= 100.0
+                and row["is_conversion"]
+                and row["campaign_id"] in dim_keys
+            ):
+                region = row["region"]
+                expected_spend[region] = expected_spend.get(region, 0) + row["spend"]
+
+        got = {r["region"]: r["total_spend"] for r in result.rows}
+        assert set(got) == set(expected_spend)
+        for region in got:
+            assert got[region] == pytest.approx(expected_spend[region])
+
+    def test_stage_counts_monotone(self):
+        fact = DatasetGenerator(warehouse_fact_schema(), seed=3).generate(400)
+        dim = DatasetGenerator(warehouse_dim_schema(), seed=4).generate(100)
+        result = run_warehouse_query(fact, dim)
+        assert result.scanned_rows == 400
+        assert result.scanned_rows >= result.filtered_rows >= result.joined_rows
+        assert result.groups <= result.joined_rows or result.joined_rows == 0
+
+    def test_results_sorted_by_spend(self):
+        fact = DatasetGenerator(warehouse_fact_schema(), seed=3).generate(400)
+        dim = DatasetGenerator(warehouse_dim_schema(), seed=4).generate(100)
+        result = run_warehouse_query(fact, dim)
+        spends = [r["total_spend"] for r in result.rows]
+        assert spends == sorted(spends, reverse=True)

@@ -1,0 +1,95 @@
+"""Tests for dataset schemas and the generator."""
+
+import pytest
+
+from repro.data.generator import DatasetGenerator
+from repro.data.schema import (
+    Column,
+    ColumnKind,
+    TableSchema,
+    warehouse_dim_schema,
+    warehouse_fact_schema,
+)
+
+
+class TestSchema:
+    def test_warehouse_schemas_valid(self):
+        fact = warehouse_fact_schema()
+        dim = warehouse_dim_schema()
+        assert "campaign_id" in fact.column_names
+        assert "campaign_id" in dim.column_names
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", [Column("a", ColumnKind.INT64), Column("a", ColumnKind.INT64)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", [])
+
+    def test_column_lookup(self):
+        fact = warehouse_fact_schema()
+        assert fact.column("region").kind == ColumnKind.STRING
+        with pytest.raises(KeyError):
+            fact.column("missing")
+
+    def test_column_validation(self):
+        with pytest.raises(ValueError):
+            Column("c", ColumnKind.INT64, distinct_values=0)
+        with pytest.raises(ValueError):
+            Column("c", ColumnKind.INT64, zipf_skew=-1)
+        with pytest.raises(ValueError):
+            Column("c", ColumnKind.STRING, null_fraction=1.0)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        schema = warehouse_fact_schema()
+        t1 = DatasetGenerator(schema, seed=5).generate(100)
+        t2 = DatasetGenerator(schema, seed=5).generate(100)
+        assert t1.columns == t2.columns
+
+    def test_seed_changes_data(self):
+        schema = warehouse_fact_schema()
+        t1 = DatasetGenerator(schema, seed=5).generate(50)
+        t2 = DatasetGenerator(schema, seed=6).generate(50)
+        assert t1.columns != t2.columns
+
+    def test_distinct_values_bounded(self):
+        table = DatasetGenerator(warehouse_fact_schema(), seed=1).generate(500)
+        assert table.distinct_count("region") <= 64
+        assert table.distinct_count("clicks") <= 100
+
+    def test_null_fraction(self):
+        table = DatasetGenerator(warehouse_fact_schema(), seed=1).generate(2000)
+        nulls = sum(1 for v in table.columns["spend"] if v is None)
+        assert nulls / 2000 == pytest.approx(0.02, abs=0.015)
+
+    def test_types(self):
+        table = DatasetGenerator(warehouse_fact_schema(), seed=1).generate(20)
+        row = table.row(0)
+        assert isinstance(row["event_id"], int)
+        assert isinstance(row["region"], str)
+        assert isinstance(row["is_conversion"], bool)
+        assert isinstance(row["event_time"], int)
+
+    def test_zipf_skews_popularity(self):
+        table = DatasetGenerator(warehouse_fact_schema(), seed=1).generate(3000)
+        values = [v for v in table.columns["campaign_id"] if v is not None]
+        counts = {}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (len(values) / len(counts))  # head much hotter
+
+    def test_estimated_bytes_positive(self):
+        table = DatasetGenerator(warehouse_fact_schema(), seed=1).generate(50)
+        assert table.estimated_bytes() > 50 * 8
+
+    def test_zero_rows(self):
+        table = DatasetGenerator(warehouse_fact_schema(), seed=1).generate(0)
+        assert table.num_rows == 0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetGenerator(warehouse_fact_schema(), seed=1).generate(-1)

@@ -1,0 +1,80 @@
+"""Tests for the compression codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dctax.compression import (
+    CompressionError,
+    SnappyLikeCodec,
+    ZlibCodec,
+    get_codec,
+)
+
+CODECS = [ZlibCodec(), SnappyLikeCodec()]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_repetitive_data_compresses(self, codec):
+        data = b"abcdefgh" * 500
+        compressed = codec.compress(data)
+        assert len(compressed) < len(data) / 2
+        assert codec.decompress(compressed) == data
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    @given(data=st.binary(max_size=4096))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_bytes(self, codec, data):
+        assert codec.decompress(codec.compress(data)) == data
+
+    @pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+    def test_overlapping_runs(self, codec):
+        # Run-length-style input exercises overlapping copies.
+        data = b"a" * 10000
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestErrors:
+    def test_zlib_corrupt(self):
+        with pytest.raises(CompressionError):
+            ZlibCodec().decompress(b"not zlib data")
+
+    def test_snappy_truncated_header(self):
+        with pytest.raises(CompressionError):
+            SnappyLikeCodec().decompress(b"\x00\x00")
+
+    def test_snappy_bad_tag(self):
+        codec = SnappyLikeCodec()
+        wire = bytearray(codec.compress(b"hello world"))
+        wire[4] = 99  # corrupt the first element tag
+        with pytest.raises(CompressionError):
+            codec.decompress(bytes(wire))
+
+    def test_snappy_length_mismatch(self):
+        codec = SnappyLikeCodec()
+        wire = bytearray(codec.compress(b"hello"))
+        wire[3] = 200  # lie about the uncompressed length
+        with pytest.raises(CompressionError):
+            codec.decompress(bytes(wire))
+
+    def test_zlib_level_validation(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(level=0)
+
+
+class TestRegistry:
+    def test_get_codec(self):
+        assert get_codec("zlib").name == "zlib"
+        assert get_codec("snappy-like").name == "snappy-like"
+
+    def test_unknown_codec(self):
+        with pytest.raises(KeyError):
+            get_codec("zstd")
+
+    def test_ratio(self):
+        assert ZlibCodec().ratio(b"x" * 1000) > 5.0
+        assert ZlibCodec().ratio(b"") == 1.0

@@ -1,0 +1,63 @@
+"""Tests for the TLS record model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dctax.crypto import CryptoError, TlsSessionModel, hkdf_extract_expand
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestHkdf:
+    def test_length(self):
+        for length in (16, 32, 64, 100):
+            assert len(hkdf_extract_expand(KEY, b"salt", length)) == length
+
+    def test_deterministic_and_salt_sensitive(self):
+        a = hkdf_extract_expand(KEY, b"salt1")
+        b = hkdf_extract_expand(KEY, b"salt1")
+        c = hkdf_extract_expand(KEY, b"salt2")
+        assert a == b != c
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            hkdf_extract_expand(KEY, b"s", 0)
+
+
+class TestTlsSession:
+    def test_seal_open_roundtrip(self):
+        session = TlsSessionModel(KEY)
+        assert session.open(session.seal(b"hello")) == b"hello"
+
+    @given(payload=st.binary(max_size=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_payloads(self, payload):
+        session = TlsSessionModel(KEY)
+        assert session.open(session.seal(payload)) == payload
+
+    def test_sequence_numbers_differ(self):
+        session = TlsSessionModel(KEY)
+        r1 = session.seal(b"same")
+        r2 = session.seal(b"same")
+        assert r1 != r2  # distinct seq -> distinct keystream
+
+    def test_tamper_detected(self):
+        session = TlsSessionModel(KEY)
+        record = bytearray(session.seal(b"secret"))
+        record[9] ^= 0x01
+        with pytest.raises(CryptoError):
+            session.open(bytes(record))
+
+    def test_truncated_record(self):
+        session = TlsSessionModel(KEY)
+        with pytest.raises(CryptoError):
+            session.open(b"tooshort")
+
+    def test_ciphertext_hides_plaintext(self):
+        session = TlsSessionModel(KEY)
+        record = session.seal(b"findme-findme-findme")
+        assert b"findme" not in record
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            TlsSessionModel(b"short")

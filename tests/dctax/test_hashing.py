@@ -1,0 +1,69 @@
+"""Tests for hashing-tax functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dctax.hashing import consistent_bucket, fingerprint64, hash_bytes
+
+
+class TestFingerprint64:
+    def test_deterministic(self):
+        assert fingerprint64(b"key") == fingerprint64(b"key")
+
+    def test_64bit_range(self):
+        for data in (b"", b"a", b"hello world" * 100):
+            assert 0 <= fingerprint64(data) < 2**64
+
+    @given(a=st.binary(max_size=64), b=st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_distinct_inputs_rarely_collide(self, a, b):
+        if a != b:
+            assert fingerprint64(a) != fingerprint64(b)
+
+    def test_avalanche(self):
+        """Flipping one bit should change about half the output bits."""
+        h1 = fingerprint64(b"key0")
+        h2 = fingerprint64(b"key1")
+        flipped = bin(h1 ^ h2).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestHashBytes:
+    def test_sha256_length(self):
+        assert len(hash_bytes(b"data", "sha256")) == 32
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            hash_bytes(b"data", "sha9000")
+
+
+class TestConsistentBucket:
+    def test_range(self):
+        for key in range(200):
+            assert 0 <= consistent_bucket(key, 16) < 16
+
+    def test_single_bucket(self):
+        assert consistent_bucket(12345, 1) == 0
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            consistent_bucket(1, 0)
+
+    def test_deterministic(self):
+        assert consistent_bucket(987, 64) == consistent_bucket(987, 64)
+
+    @given(key=st.integers(min_value=0, max_value=2**63))
+    @settings(max_examples=100)
+    def test_growth_moves_few_keys(self, key):
+        """Jump hash invariant: adding a bucket either keeps the key in
+        place or moves it to the NEW bucket — never shuffles among old
+        buckets."""
+        before = consistent_bucket(key, 10)
+        after = consistent_bucket(key, 11)
+        assert after == before or after == 10
+
+    def test_distribution_roughly_uniform(self):
+        counts = [0] * 8
+        for key in range(8000):
+            counts[consistent_bucket(fingerprint64(str(key).encode()), 8)] += 1
+        assert max(counts) < 2 * min(counts)

@@ -1,0 +1,110 @@
+"""Tests for serialization, memory ops, accounting, microbenchmarks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dctax.accounting import CycleAccountant
+from repro.dctax.memory_ops import checked_copy, scatter_gather, split_at_offsets
+from repro.dctax.microbench import ALL_MICROBENCHMARKS, make_payload, run_all
+from repro.dctax.serialization import deserialize_record, serialize_record
+from repro.uarch.characteristics import TaxProfile
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        record = {"id": 7, "name": "alice", "score": 1.5, "tags": [1, 2]}
+        out = deserialize_record(serialize_record(record))
+        assert out["id"] == 7
+        assert out["name"] == b"alice"
+        assert out["score"] == 1.5
+        assert out["tags"] == [1, 2]
+
+    def test_empty_record(self):
+        assert deserialize_record(serialize_record({})) == {}
+
+    @given(
+        record=st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.integers(min_value=-(2**31), max_value=2**31),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40)
+    def test_integer_records(self, record):
+        assert deserialize_record(serialize_record(record)) == record
+
+
+class TestMemoryOps:
+    def test_checked_copy(self):
+        data = b"payload"
+        copy = checked_copy(data)
+        assert copy == data and copy is not data
+
+    def test_copy_guard(self):
+        with pytest.raises(ValueError):
+            checked_copy(b"xxxx", max_bytes=2)
+
+    @given(buffers=st.lists(st.binary(max_size=50), max_size=8))
+    @settings(max_examples=40)
+    def test_scatter_gather_roundtrip(self, buffers):
+        joined, offsets = scatter_gather(buffers)
+        assert split_at_offsets(joined, offsets) == list(buffers)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            split_at_offsets(b"abc", [2, 1])
+
+
+class TestAccounting:
+    def test_breakdown_normalizes(self):
+        acc = CycleAccountant()
+        acc.charge("app:logic", 60.0)
+        acc.charge("rpc", 30.0)
+        acc.charge("compression", 10.0)
+        b = acc.breakdown()
+        assert b.app_fraction == pytest.approx(0.6)
+        assert b.tax_fraction == pytest.approx(0.4)
+        assert b.share("rpc") == pytest.approx(0.3)
+
+    def test_charge_profile(self):
+        acc = CycleAccountant()
+        profile = TaxProfile({"app:x": 0.7, "rpc": 0.3})
+        acc.charge_profile(profile, 1000.0)
+        assert acc.cycles["rpc"] == pytest.approx(300.0)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CycleAccountant().charge("rpc", -1.0)
+
+    def test_empty_breakdown(self):
+        b = CycleAccountant().breakdown()
+        assert b.shares == {}
+
+    def test_top_categories(self):
+        acc = CycleAccountant()
+        for name, amount in (("a", 5.0), ("b", 3.0), ("c", 2.0)):
+            acc.charge(name, amount)
+        top = acc.breakdown().top_categories(2)
+        assert list(top) == ["a", "b"]
+
+
+class TestMicrobench:
+    def test_payload_deterministic(self):
+        assert make_payload(256, seed=1) == make_payload(256, seed=1)
+        assert make_payload(256, seed=1) != make_payload(256, seed=2)
+
+    def test_payload_validation(self):
+        with pytest.raises(ValueError):
+            make_payload(-1)
+        with pytest.raises(ValueError):
+            make_payload(10, entropy=2.0)
+
+    @pytest.mark.parametrize("name", sorted(ALL_MICROBENCHMARKS))
+    def test_each_microbenchmark_runs(self, name):
+        result = ALL_MICROBENCHMARKS[name]()
+        assert result.operations > 0
+        assert result.ops_per_second > 0
+
+    def test_run_all_covers_registry(self):
+        results = run_all()
+        assert set(results) == set(ALL_MICROBENCHMARKS)

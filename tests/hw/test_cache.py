@@ -1,0 +1,59 @@
+"""Tests for the cache hierarchy model."""
+
+import pytest
+
+from repro.hw.cache import (
+    CacheHierarchy,
+    CacheLevel,
+    arm_hierarchy,
+    standard_x86_hierarchy,
+)
+
+
+class TestCacheLevel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1I", size_kb=0)
+        with pytest.raises(ValueError):
+            CacheLevel("L1I", size_kb=32, line_bytes=0)
+
+
+class TestCacheHierarchy:
+    def test_standard_x86(self):
+        h = standard_x86_hierarchy()
+        assert h.l1i.size_kb == 32
+        assert h.llc.shared
+        assert h.replacement_quality == 1.0
+
+    def test_llc_share_divides_by_cores(self):
+        h = standard_x86_hierarchy(llc_mb_total=32)
+        assert h.llc_share_kb(1) == 32 * 1024
+        assert h.llc_share_kb(32) == 1024
+
+    def test_llc_share_private(self):
+        h = CacheHierarchy(
+            l1i=CacheLevel("L1I", 32),
+            l1d=CacheLevel("L1D", 32),
+            l2=CacheLevel("L2", 1024),
+            llc=CacheLevel("LLC", 2048, shared=False),
+        )
+        assert h.llc_share_kb(16) == 2048
+
+    def test_llc_share_invalid_cores(self):
+        with pytest.raises(ValueError):
+            standard_x86_hierarchy().llc_share_kb(0)
+
+    def test_with_replacement_quality(self):
+        h = standard_x86_hierarchy()
+        improved = h.with_replacement_quality(1.5)
+        assert improved.replacement_quality == 1.5
+        assert h.replacement_quality == 1.0  # original untouched
+        assert improved.l1i == h.l1i
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            standard_x86_hierarchy().with_replacement_quality(0.0)
+
+    def test_arm_hierarchy_l1i_required(self):
+        h = arm_hierarchy(l1i_kb=128)
+        assert h.l1i.size_kb == 128

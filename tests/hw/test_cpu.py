@@ -1,0 +1,52 @@
+"""Tests for the CPU model."""
+
+import pytest
+
+from repro.hw.cache import standard_x86_hierarchy
+from repro.hw.cpu import CpuModel
+
+
+def make_cpu(**overrides):
+    params = dict(
+        name="test-cpu",
+        arch="x86",
+        physical_cores=18,
+        smt=2,
+        pipeline_width=4,
+        base_freq_ghz=1.8,
+        max_freq_ghz=2.1,
+        caches=standard_x86_hierarchy(),
+    )
+    params.update(overrides)
+    return CpuModel(**params)
+
+
+class TestCpuModel:
+    def test_logical_cores(self):
+        assert make_cpu().logical_cores == 36
+        assert make_cpu(smt=1).logical_cores == 18
+
+    def test_smt_throughput_factor(self):
+        assert make_cpu(smt=1).smt_throughput_factor == 1.0
+        assert make_cpu(smt=2).smt_throughput_factor == pytest.approx(1.30)
+
+    def test_arch_validation(self):
+        with pytest.raises(ValueError):
+            make_cpu(arch="riscv")
+
+    def test_freq_ordering_validation(self):
+        with pytest.raises(ValueError):
+            make_cpu(base_freq_ghz=2.5, max_freq_ghz=2.1)
+
+    def test_smt_validation(self):
+        with pytest.raises(ValueError):
+            make_cpu(smt=3)
+
+    def test_frontend_multiplier_validation(self):
+        with pytest.raises(ValueError):
+            make_cpu(frontend_penalty_multiplier=0.5)
+        assert make_cpu(frontend_penalty_multiplier=5.0).frontend_penalty_multiplier == 5.0
+
+    def test_core_count_validation(self):
+        with pytest.raises(ValueError):
+            make_cpu(physical_cores=0)

@@ -1,0 +1,48 @@
+"""Tests for the DVFS model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.frequency import FrequencyModel
+
+
+class TestFrequencyModel:
+    def setup_method(self):
+        self.model = FrequencyModel()
+
+    def test_idle_kernel_free_hits_turbo(self):
+        freq = self.model.effective_ghz(1.7, 2.2, cpu_util=1.0, kernel_frac=0.0)
+        assert freq == pytest.approx(2.2)
+
+    def test_kernel_time_lowers_frequency(self):
+        busy = self.model.effective_ghz(1.7, 2.2, cpu_util=1.0, kernel_frac=0.0)
+        kernelish = self.model.effective_ghz(1.7, 2.2, cpu_util=1.0, kernel_frac=0.3)
+        assert kernelish < busy
+
+    def test_vector_intensity_lowers_frequency(self):
+        scalar = self.model.effective_ghz(1.7, 2.2, 1.0, 0.0, vector_intensity=0.0)
+        vector = self.model.effective_ghz(1.7, 2.2, 1.0, 0.0, vector_intensity=0.6)
+        assert vector < scalar
+
+    def test_never_below_base(self):
+        freq = self.model.effective_ghz(
+            1.7, 2.2, cpu_util=0.1, kernel_frac=1.0, vector_intensity=1.0
+        )
+        assert freq == pytest.approx(1.7)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            self.model.effective_ghz(1.7, 2.2, cpu_util=1.5, kernel_frac=0.0)
+        with pytest.raises(ValueError):
+            self.model.effective_ghz(1.7, 2.2, cpu_util=0.5, kernel_frac=-0.1)
+        with pytest.raises(ValueError):
+            self.model.effective_ghz(1.7, 2.2, 0.5, 0.0, vector_intensity=2.0)
+
+    @given(
+        util=st.floats(0.0, 1.0),
+        kernel=st.floats(0.0, 1.0),
+        vector=st.floats(0.0, 1.0),
+    )
+    def test_frequency_within_envelope(self, util, kernel, vector):
+        freq = FrequencyModel().effective_ghz(1.7, 2.2, util, kernel, vector)
+        assert 1.7 <= freq <= 2.2

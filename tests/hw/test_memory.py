@@ -1,0 +1,45 @@
+"""Tests for the memory-system model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.memory import MemorySystem
+
+
+class TestMemorySystem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(capacity_gb=0, peak_bw_gbps=100)
+        with pytest.raises(ValueError):
+            MemorySystem(capacity_gb=64, peak_bw_gbps=0)
+        with pytest.raises(ValueError):
+            MemorySystem(capacity_gb=64, peak_bw_gbps=100, latency_ns=0)
+
+    def test_latency_cycles(self):
+        mem = MemorySystem(capacity_gb=64, peak_bw_gbps=100, latency_ns=90)
+        assert mem.latency_cycles(2.0) == pytest.approx(180.0)
+        with pytest.raises(ValueError):
+            mem.latency_cycles(0.0)
+
+    def test_bandwidth_pressure(self):
+        mem = MemorySystem(capacity_gb=64, peak_bw_gbps=100)
+        assert mem.bandwidth_pressure(50) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            mem.bandwidth_pressure(-1)
+
+    def test_effective_latency_unloaded(self):
+        mem = MemorySystem(capacity_gb=64, peak_bw_gbps=100, latency_ns=90)
+        assert mem.effective_latency_ns(0.0) == pytest.approx(90.0)
+
+    @given(demand=st.floats(min_value=0.0, max_value=300.0))
+    def test_effective_latency_monotone_and_bounded(self, demand):
+        mem = MemorySystem(capacity_gb=64, peak_bw_gbps=100, latency_ns=90)
+        latency = mem.effective_latency_ns(demand)
+        assert latency >= 90.0
+        # Capped inflation: never beyond the rho=0.95 ceiling.
+        assert latency <= 90.0 / (1.0 - 0.95 * 0.7) + 1e-9
+
+    def test_effective_latency_increases_with_demand(self):
+        mem = MemorySystem(capacity_gb=64, peak_bw_gbps=100, latency_ns=90)
+        lat = [mem.effective_latency_ns(d) for d in (0, 25, 50, 75, 95)]
+        assert lat == sorted(lat)

@@ -1,0 +1,70 @@
+"""Tests for the power model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.power import PowerBreakdown, PowerModel
+
+
+class TestPowerBreakdown:
+    def test_total_and_watts(self):
+        b = PowerBreakdown(core=0.35, soc=0.25, dram=0.10, other=0.15)
+        assert b.total == pytest.approx(0.85)
+        assert b.watts(400.0) == pytest.approx(340.0)
+
+    def test_as_dict(self):
+        b = PowerBreakdown(core=0.3, soc=0.2, dram=0.1, other=0.1)
+        d = b.as_dict()
+        assert d["total"] == pytest.approx(0.7)
+        assert set(d) == {"core", "soc", "dram", "other", "total"}
+
+
+class TestPowerModel:
+    def setup_method(self):
+        self.model = PowerModel()
+
+    def test_idle_floor(self):
+        b = self.model.breakdown(
+            cpu_util=0.0, freq_rel=1.0, retiring_frac=0.0,
+            membw_frac=0.0, network_util=0.0, platform_activity=0.0,
+        )
+        assert b.core == pytest.approx(self.model.core_idle)
+        assert b.dram == pytest.approx(self.model.dram_idle)
+
+    def test_utilization_raises_core_power(self):
+        low = self.model.breakdown(0.2, 0.9, 0.3, 0.2, 0.1, 0.0)
+        high = self.model.breakdown(0.9, 0.9, 0.3, 0.2, 0.1, 0.0)
+        assert high.core > low.core
+
+    def test_bandwidth_raises_dram_and_soc(self):
+        low = self.model.breakdown(0.9, 0.9, 0.3, 0.1, 0.1, 0.0)
+        high = self.model.breakdown(0.9, 0.9, 0.3, 0.7, 0.1, 0.0)
+        assert high.dram > low.dram
+        assert high.soc > low.soc
+
+    def test_retiring_raises_core_power(self):
+        """Stalled cores clock-gate: mcf draws less than deepsjeng."""
+        stalled = self.model.breakdown(1.0, 0.9, 0.17, 0.5, 0.0, 0.3)
+        retiring = self.model.breakdown(1.0, 0.9, 0.55, 0.1, 0.0, 0.3)
+        assert retiring.core > stalled.core
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            self.model.breakdown(1.5, 0.9, 0.3, 0.1, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            self.model.breakdown(0.9, 0.0, 0.3, 0.1, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            self.model.breakdown(0.9, 0.9, 0.3, 0.1, 0.1, 1.5)
+
+    @given(
+        util=st.floats(0.0, 1.0),
+        freq=st.floats(0.1, 1.0),
+        ret=st.floats(0.0, 1.0),
+        bw=st.floats(0.0, 1.0),
+        net=st.floats(0.0, 1.0),
+        plat=st.floats(0.0, 1.0),
+    )
+    def test_total_is_plausible_fraction(self, util, freq, ret, bw, net, plat):
+        b = PowerModel().breakdown(util, freq, ret, bw, net, plat)
+        assert 0.0 < b.total <= 1.0 + 1e-9
+        assert b.core > 0 and b.soc > 0 and b.dram > 0 and b.other > 0

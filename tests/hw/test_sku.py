@@ -1,0 +1,65 @@
+"""Tests for the SKU registry (Tables 3 and 4)."""
+
+import pytest
+
+from repro.hw.sku import SKU_REGISTRY, get_sku, list_skus
+
+
+class TestTable3:
+    """The paper-published x86 SKU parameters must match Table 3."""
+
+    @pytest.mark.parametrize(
+        "name,logical,ram,net,storage,year",
+        [
+            ("SKU1", 36, 64, 12.5, "256GB SATA", 2018),
+            ("SKU2", 52, 64, 25.0, "512GB NVMe", 2021),
+            ("SKU3", 72, 64, 25.0, "512GB NVMe", 2022),
+            ("SKU4", 176, 256, 50.0, "1TB NVMe", 2023),
+        ],
+    )
+    def test_published_specs(self, name, logical, ram, net, storage, year):
+        sku = get_sku(name)
+        assert sku.logical_cores == logical
+        assert sku.memory.capacity_gb == ram
+        assert sku.network_gbps == net
+        assert sku.storage == storage
+        assert sku.year == year
+
+
+class TestTable4:
+    def test_arm_l1i_ratio_is_4x(self):
+        a = get_sku("SKU-A")
+        b = get_sku("SKU-B")
+        assert a.cpu.caches.l1i.size_kb / b.cpu.caches.l1i.size_kb == pytest.approx(4.0)
+
+    def test_arm_core_counts_and_power(self):
+        a, b = get_sku("SKU-A"), get_sku("SKU-B")
+        assert a.logical_cores == 72
+        assert b.logical_cores == 160
+        assert a.designed_power_w == 175
+        assert b.designed_power_w == 275
+
+    def test_arm_has_no_smt(self):
+        assert get_sku("SKU-A").cpu.smt == 1
+        assert get_sku("SKU-B").cpu.smt == 1
+
+
+class TestRegistry:
+    def test_unknown_sku_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="SKU1"):
+            get_sku("SKU99")
+
+    def test_list_skus_filter(self):
+        arm = list_skus(category="arm-candidate")
+        assert {s.name for s in arm} == {"SKU-A", "SKU-B"}
+        assert len(list_skus()) == len(SKU_REGISTRY)
+
+    def test_spec_row_fields(self):
+        row = get_sku("SKU1").spec_row()
+        assert row["sku"] == "SKU1"
+        assert row["logical_cores"] == 36
+
+    def test_sku_384_exists_for_kernel_study(self):
+        sku = get_sku("SKU-384")
+        assert sku.logical_cores == 384
+        assert sku.category == "future"

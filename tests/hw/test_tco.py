@@ -1,0 +1,103 @@
+"""Tests for the TCO / Perf-per-dollar model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.tco import (
+    CostEffectiveness,
+    TcoModel,
+    budgeted_power_w,
+    evaluate_cost_effectiveness,
+)
+
+
+def model(**overrides):
+    params = dict(server_price_usd=8000.0)
+    params.update(overrides)
+    return TcoModel(**params)
+
+
+class TestTcoModel:
+    def test_capex_amortization(self):
+        assert model(amortization_years=4.0).capex_per_year() == pytest.approx(2000.0)
+
+    def test_opex_components_positive(self):
+        opex = model().opex_per_year(average_power_w=300.0, budgeted_power_w=360.0)
+        # Energy: 300W * 1.25 PUE * 8766h = 3287 kWh * $0.08 = ~$263.
+        # Provisioning: 360W * $2 = $720.  Maintenance: $400.
+        assert opex == pytest.approx(263 + 720 + 400, rel=0.02)
+
+    def test_tco_is_sum(self):
+        m = model()
+        assert m.tco_per_year(300.0, 360.0) == pytest.approx(
+            m.capex_per_year() + m.opex_per_year(300.0, 360.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model(server_price_usd=0.0)
+        with pytest.raises(ValueError):
+            model(power_overhead_pue=0.9)
+        with pytest.raises(ValueError):
+            model().opex_per_year(400.0, 300.0)  # budget below average
+
+    @given(
+        avg=st.floats(10.0, 500.0),
+        extra=st.floats(0.0, 300.0),
+    )
+    def test_opex_monotone_in_power(self, avg, extra):
+        m = model()
+        low = m.opex_per_year(avg, avg + extra)
+        high = m.opex_per_year(avg + 10.0, avg + extra + 10.0)
+        assert high > low
+
+
+class TestBudgetedPower:
+    def test_below_designed(self):
+        assert budgeted_power_w(400.0, 0.9) == pytest.approx(360.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            budgeted_power_w(0.0)
+        with pytest.raises(ValueError):
+            budgeted_power_w(400.0, 1.5)
+
+
+class TestCostEffectiveness:
+    def test_metrics(self):
+        record = CostEffectiveness(
+            sku="SKU2", performance=1000.0, average_power_w=250.0,
+            tco_per_year_usd=4000.0,
+        )
+        assert record.perf_per_watt == pytest.approx(4.0)
+        assert record.perf_per_dollar == pytest.approx(0.25)
+
+    def test_normalization(self):
+        base = CostEffectiveness("SKU1", 1000.0, 250.0, 4000.0)
+        other = CostEffectiveness("SKU2", 2000.0, 400.0, 6000.0)
+        norm = other.normalized_to(base)
+        assert norm["perf"] == pytest.approx(2.0)
+        assert norm["perf_per_watt"] == pytest.approx((2000 / 400) / (1000 / 250))
+
+    def test_perf_watt_and_perf_dollar_can_disagree(self):
+        """The Section 2.3 trade-off: CPU X wins Perf/Watt while CPU Y
+        wins Perf/$ — cheap-but-hungry vs efficient-but-expensive."""
+        tco_cheap = TcoModel(server_price_usd=4000.0)
+        tco_premium = TcoModel(server_price_usd=16000.0)
+        cpu_y = evaluate_cost_effectiveness(
+            "cpu-y", performance=1000.0, average_power_w=400.0,
+            designed_power_w=500.0, tco_model=tco_cheap,
+        )
+        cpu_x = evaluate_cost_effectiveness(
+            "cpu-x", performance=1100.0, average_power_w=220.0,
+            designed_power_w=280.0, tco_model=tco_premium,
+        )
+        assert cpu_x.perf_per_watt > cpu_y.perf_per_watt
+        assert cpu_y.perf_per_dollar > cpu_x.perf_per_dollar
+
+    def test_evaluate_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_cost_effectiveness(
+                "x", performance=0.0, average_power_w=100.0,
+                designed_power_w=200.0, tco_model=model(),
+            )

@@ -1,0 +1,115 @@
+"""Tests for open/closed-loop load generators."""
+
+import pytest
+
+from repro.loadgen.generators import ClosedLoopGenerator, OpenLoopGenerator
+from repro.loadgen.recorder import LatencyRecorder
+from repro.sim.engine import Environment
+from repro.sim.rng import RngStreams
+
+
+def instant_handler(env):
+    def handler(request):
+        yield env.timeout(0.001)
+
+    return handler
+
+
+class TestOpenLoop:
+    def test_arrival_rate(self):
+        env = Environment()
+        recorder = LatencyRecorder()
+        gen = OpenLoopGenerator(
+            env, rate_rps=1000.0, handler=instant_handler(env),
+            recorder=recorder, rng=RngStreams(7).stream("a"),
+        )
+        gen.start()
+        env.run(until=5.0)
+        # Poisson arrivals: ~5000 +- a few percent.
+        assert gen.issued == pytest.approx(5000, rel=0.1)
+        assert gen.completed >= gen.issued - 10
+
+    def test_latencies_recorded(self):
+        env = Environment()
+        recorder = LatencyRecorder()
+        gen = OpenLoopGenerator(
+            env, 100.0, instant_handler(env), recorder, RngStreams(7).stream("a")
+        )
+        gen.start()
+        env.run(until=1.0)
+        assert len(recorder) == gen.completed
+        assert recorder.percentile(50) == pytest.approx(0.001)
+
+    def test_timeout_counts_error(self):
+        env = Environment()
+        recorder = LatencyRecorder()
+
+        def slow_handler(request):
+            yield env.timeout(10.0)
+
+        gen = OpenLoopGenerator(
+            env, 10.0, slow_handler, recorder, RngStreams(7).stream("a"),
+            timeout_seconds=1.0,
+        )
+        gen.start()
+        env.run(until=20.0)
+        assert recorder.errors > 0
+
+    def test_invalid_rate(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(
+                env, 0.0, instant_handler(env), LatencyRecorder(),
+                RngStreams(7).stream("a"),
+            )
+
+
+class TestClosedLoop:
+    def test_concurrency_bounds_throughput(self):
+        env = Environment()
+        recorder = LatencyRecorder()
+
+        def handler(request):
+            yield env.timeout(0.1)
+
+        gen = ClosedLoopGenerator(
+            env, concurrency=4, handler=handler, recorder=recorder,
+            rng=RngStreams(7).stream("a"),
+        )
+        gen.start()
+        env.run(until=10.0)
+        # 4 clients x 10 ops/s each = ~400 completions.
+        assert gen.completed == pytest.approx(400, rel=0.05)
+
+    def test_think_time_slows_clients(self):
+        env = Environment()
+
+        def handler(request):
+            yield env.timeout(0.01)
+
+        fast = ClosedLoopGenerator(
+            env, 2, handler, LatencyRecorder(), RngStreams(7).stream("a")
+        )
+        fast.start()
+        env.run(until=5.0)
+
+        env2 = Environment()
+
+        def handler2(request):
+            yield env2.timeout(0.01)
+
+        slow = ClosedLoopGenerator(
+            env2, 2, handler2, LatencyRecorder(), RngStreams(7).stream("a"),
+            think_time_seconds=0.1,
+        )
+        slow.start()
+        env2.run(until=5.0)
+        assert slow.completed < fast.completed
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(
+                env, 0, instant_handler(env), LatencyRecorder(),
+                RngStreams(7).stream("a"),
+            )

@@ -1,0 +1,86 @@
+"""Tests for the SLO search."""
+
+import pytest
+
+from repro.loadgen.slo import SLO, ProbeResult, find_max_load
+
+
+def synthetic_probe(capacity: float):
+    """Latency rises hyperbolically toward the capacity asymptote."""
+
+    def probe(rate: float) -> ProbeResult:
+        rho = min(rate / capacity, 0.999)
+        latency = 0.05 / (1.0 - rho)
+        return ProbeResult(
+            offered_rps=rate,
+            achieved_rps=min(rate, capacity),
+            latency_at_percentile=latency,
+            error_rate=0.0,
+            cpu_util=rho,
+        )
+
+    return probe
+
+
+class TestSlo:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO(percentile=0.0)
+        with pytest.raises(ValueError):
+            SLO(latency_seconds=0.0)
+        with pytest.raises(ValueError):
+            SLO(max_error_rate=2.0)
+
+    def test_meets(self):
+        slo = SLO(latency_seconds=0.5, max_error_rate=0.01)
+        ok = ProbeResult(10, 10, 0.4, 0.0, 0.5)
+        slow = ProbeResult(10, 10, 0.6, 0.0, 0.5)
+        errory = ProbeResult(10, 10, 0.4, 0.05, 0.5)
+        assert ok.meets(slo)
+        assert not slow.meets(slo)
+        assert not errory.meets(slo)
+
+
+class TestFindMaxLoad:
+    def test_converges_to_analytic_answer(self):
+        # latency = 0.05/(1-rho) <= 0.5  =>  rho <= 0.9.
+        result = find_max_load(
+            synthetic_probe(1000.0),
+            SLO(latency_seconds=0.5),
+            low_rps=50.0,
+            high_rps=1200.0,
+            tolerance=0.01,
+            max_probes=30,
+        )
+        assert result.max_rps == pytest.approx(900.0, rel=0.03)
+
+    def test_high_point_passing_returns_high(self):
+        result = find_max_load(
+            synthetic_probe(100000.0), SLO(latency_seconds=0.5),
+            low_rps=10.0, high_rps=100.0,
+        )
+        assert result.max_rps == 100.0
+
+    def test_steps_down_when_low_violates(self):
+        """A tight SLO forces the search to shrink its starting load."""
+        result = find_max_load(
+            synthetic_probe(1000.0),
+            SLO(latency_seconds=0.0668),  # rho <= 0.25 -> max 250 rps
+            low_rps=600.0,
+            high_rps=1200.0,
+            max_probes=30,
+        )
+        assert result.max_rps < 300.0
+
+    def test_impossible_slo_raises(self):
+        with pytest.raises(ValueError, match="cannot be met"):
+            find_max_load(
+                synthetic_probe(1000.0), SLO(latency_seconds=0.01),
+                low_rps=100.0, high_rps=500.0,
+            )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            find_max_load(
+                synthetic_probe(100.0), SLO(), low_rps=10.0, high_rps=5.0
+            )

@@ -1,0 +1,159 @@
+"""Tests for trace synthesis, persistence, and replay."""
+
+import pytest
+
+from repro.loadgen.recorder import LatencyRecorder
+from repro.loadgen.trace import (
+    Trace,
+    TraceRecord,
+    TraceReplayGenerator,
+    synthesize_production_trace,
+)
+from repro.sim.engine import Environment
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(inter_arrival_s=-1.0, request_bytes=1, response_bytes=1)
+        with pytest.raises(ValueError):
+            TraceRecord(inter_arrival_s=0.1, request_bytes=-1, response_bytes=1)
+
+
+class TestSynthesis:
+    def test_rate_matches_target(self):
+        trace = synthesize_production_trace(
+            5000, base_rate_rps=100.0, diurnal_amplitude=0.0
+        )
+        assert trace.mean_rate_rps == pytest.approx(100.0, rel=0.1)
+
+    def test_deterministic(self):
+        a = synthesize_production_trace(100, 50.0, seed=3)
+        b = synthesize_production_trace(100, 50.0, seed=3)
+        assert a.records == b.records
+
+    def test_size_distributions(self):
+        trace = synthesize_production_trace(
+            3000, 100.0, mean_request_bytes=2000.0, mean_response_bytes=60000.0
+        )
+        summary = trace.size_summary()
+        assert summary["request_mean"] == pytest.approx(2000.0, rel=0.15)
+        assert summary["response_mean"] == pytest.approx(60000.0, rel=0.15)
+        # Heavy tail: p99 well above the mean.
+        assert summary["response_p99"] > 3 * summary["response_mean"]
+
+    def test_endpoint_mix(self):
+        trace = synthesize_production_trace(
+            4000, 100.0, endpoints={"feed": 0.7, "inbox": 0.3}
+        )
+        mix = trace.endpoint_mix()
+        assert mix["feed"] == pytest.approx(0.7, abs=0.05)
+        assert mix["inbox"] == pytest.approx(0.3, abs=0.05)
+
+    def test_diurnal_modulates_rate(self):
+        """With a strong diurnal envelope over one period, trough
+        inter-arrivals are measurably longer than peak ones."""
+        trace = synthesize_production_trace(
+            20000, base_rate_rps=100.0, diurnal_amplitude=0.8,
+            diurnal_period_s=200.0,
+        )
+        # Split records into peak (first quarter-period) vs trough.
+        clock = 0.0
+        peak, trough = [], []
+        for record in trace.records:
+            clock += record.inter_arrival_s
+            phase = (clock % 200.0) / 200.0
+            if 0.1 < phase < 0.4:
+                peak.append(record.inter_arrival_s)
+            elif 0.6 < phase < 0.9:
+                trough.append(record.inter_arrival_s)
+        assert sum(trough) / len(trough) > 1.5 * sum(peak) / len(peak)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_production_trace(0, 100.0)
+        with pytest.raises(ValueError):
+            synthesize_production_trace(10, 0.0)
+        with pytest.raises(ValueError):
+            synthesize_production_trace(10, 100.0, diurnal_amplitude=1.0)
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        trace = synthesize_production_trace(50, 100.0, seed=9)
+        path = str(tmp_path / "trace.jsonl")
+        trace.save_jsonl(path)
+        loaded = Trace.load_jsonl(path)
+        assert loaded.records == trace.records
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(records=[])
+
+
+class TestReplay:
+    def test_replay_preserves_order_and_metadata(self):
+        env = Environment()
+        trace = Trace(
+            records=[
+                TraceRecord(0.1, 100, 1000, "feed"),
+                TraceRecord(0.2, 200, 2000, "inbox"),
+                TraceRecord(0.1, 300, 3000, "feed"),
+            ]
+        )
+        seen = []
+
+        def handler(request):
+            seen.append(
+                (env.now, request.metadata["endpoint"],
+                 request.metadata["request_bytes"])
+            )
+            yield env.timeout(0.001)
+
+        recorder = LatencyRecorder()
+        generator = TraceReplayGenerator(
+            env, trace, handler, recorder, loop=False
+        )
+        generator.start()
+        env.run()
+        assert [e for _, e, _ in seen] == ["feed", "inbox", "feed"]
+        assert [b for _, _, b in seen] == [100, 200, 300]
+        assert seen[0][0] == pytest.approx(0.1)
+        assert seen[1][0] == pytest.approx(0.3)
+        assert len(recorder) == 3
+
+    def test_time_scale_compresses(self):
+        env = Environment()
+        trace = Trace(records=[TraceRecord(10.0, 1, 1)] * 5)
+
+        def handler(request):
+            yield env.timeout(0.0)
+
+        generator = TraceReplayGenerator(
+            env, trace, handler, LatencyRecorder(), time_scale=0.01, loop=False
+        )
+        generator.start()
+        env.run()
+        assert env.now == pytest.approx(0.5)
+
+    def test_loop_replays(self):
+        env = Environment()
+        trace = Trace(records=[TraceRecord(0.1, 1, 1)])
+
+        def handler(request):
+            yield env.timeout(0.0)
+
+        generator = TraceReplayGenerator(
+            env, trace, handler, LatencyRecorder(), loop=True
+        )
+        generator.start()
+        env.run(until=1.05)
+        assert generator.issued == 10
+
+    def test_validation(self):
+        env = Environment()
+        trace = Trace(records=[TraceRecord(0.1, 1, 1)])
+        with pytest.raises(ValueError):
+            TraceReplayGenerator(
+                env, trace, lambda r: iter(()), LatencyRecorder(), time_scale=0.0
+            )

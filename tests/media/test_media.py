@@ -1,0 +1,157 @@
+"""Tests for the media substrate: frames, codec, transcode pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media.codec import BlockCodec, CodecError, psnr
+from repro.media.frames import FrameSequence, bilinear_resize, synthetic_sequence
+from repro.media.pipeline import PRESET_QUANTIZERS, transcode_ladder
+
+
+class TestFrames:
+    def test_synthetic_sequence_shape(self):
+        seq = synthetic_sequence(num_frames=5, height=64, width=96)
+        assert seq.num_frames == 5
+        assert seq.height == 64
+        assert seq.width == 96
+        assert seq.frames.dtype == np.uint8
+
+    def test_deterministic(self):
+        a = synthetic_sequence(seed=3)
+        b = synthetic_sequence(seed=3)
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_motion_between_frames(self):
+        seq = synthetic_sequence(num_frames=6)
+        assert not np.array_equal(seq.frames[0], seq.frames[-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_sequence(num_frames=0)
+        with pytest.raises(ValueError):
+            FrameSequence(frames=np.zeros((2, 4, 4), dtype=np.float32))
+
+
+class TestBilinearResize:
+    def test_identity(self):
+        frame = synthetic_sequence(num_frames=1).frames[0]
+        out = bilinear_resize(frame, frame.shape[0], frame.shape[1])
+        assert np.array_equal(out, frame)
+
+    def test_downscale_shape(self):
+        frame = synthetic_sequence(num_frames=1).frames[0]
+        out = bilinear_resize(frame, 24, 40)
+        assert out.shape == (24, 40)
+        assert out.dtype == np.uint8
+
+    def test_constant_frame_preserved(self):
+        frame = np.full((32, 32), 100, dtype=np.uint8)
+        out = bilinear_resize(frame, 16, 20)
+        assert np.all(out == 100)
+
+    def test_validation(self):
+        frame = np.zeros((16, 16), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            bilinear_resize(frame, 0, 10)
+
+
+class TestBlockCodec:
+    def test_lossless_on_constant_frame(self):
+        frame = np.full((16, 24), 128, dtype=np.uint8)
+        codec = BlockCodec(quantizer=16)
+        decoded = codec.decode(codec.encode(frame))
+        assert np.array_equal(decoded, frame)
+
+    def test_roundtrip_quality(self):
+        frame = synthetic_sequence(num_frames=1).frames[0]
+        codec = BlockCodec(quantizer=8)
+        decoded = codec.decode(codec.encode(frame))
+        assert decoded.shape == frame.shape
+        assert psnr(frame, decoded) > 35.0
+
+    def test_quantizer_quality_tradeoff(self):
+        """Coarser quantization -> fewer bytes, lower PSNR."""
+        frame = synthetic_sequence(num_frames=1).frames[0]
+        fine = BlockCodec(quantizer=4)
+        coarse = BlockCodec(quantizer=64)
+        fine_enc = fine.encode(frame)
+        coarse_enc = coarse.encode(frame)
+        assert coarse_enc.compressed_bytes < fine_enc.compressed_bytes
+        assert psnr(frame, coarse.decode(coarse_enc)) < psnr(
+            frame, fine.decode(fine_enc)
+        )
+
+    def test_non_multiple_of_block_size(self):
+        frame = synthetic_sequence(num_frames=1, height=30, width=50).frames[0]
+        codec = BlockCodec(quantizer=12)
+        decoded = codec.decode(codec.encode(frame))
+        assert decoded.shape == frame.shape
+
+    def test_actually_compresses(self):
+        frame = synthetic_sequence(num_frames=1).frames[0]
+        encoded = BlockCodec(quantizer=20).encode(frame)
+        assert encoded.compressed_bytes < frame.size / 2
+
+    def test_corrupt_bitstream_detected(self):
+        frame = synthetic_sequence(num_frames=1, height=16, width=16).frames[0]
+        codec = BlockCodec(quantizer=16)
+        encoded = codec.encode(frame)
+        truncated = type(encoded)(
+            height=encoded.height, width=encoded.width,
+            quantizer=encoded.quantizer, payload=encoded.payload[:1],
+        )
+        with pytest.raises(CodecError):
+            codec.decode(truncated)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockCodec(quantizer=0)
+        with pytest.raises(ValueError):
+            BlockCodec(quantizer=16).encode(np.zeros((4, 4), dtype=np.float32))
+
+    @given(seed=st.integers(0, 1000), quantizer=st.sampled_from([4, 16, 48]))
+    @settings(max_examples=15, deadline=None)
+    def test_decoder_inverts_encoder_structurally(self, seed, quantizer):
+        frame = synthetic_sequence(num_frames=1, height=32, width=48,
+                                   seed=seed).frames[0]
+        codec = BlockCodec(quantizer=quantizer)
+        decoded = codec.decode(codec.encode(frame))
+        assert decoded.shape == frame.shape
+        # Reconstruction error is bounded by the quantizer scale.
+        assert psnr(frame, decoded) > 18.0
+
+
+class TestPsnr:
+    def test_identical_frames_infinite(self):
+        frame = np.zeros((8, 8), dtype=np.uint8)
+        assert psnr(frame, frame) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((8, 8), dtype=np.uint8), np.zeros((4, 4), dtype=np.uint8))
+
+
+class TestPipeline:
+    def test_ladder_monotone_bytes(self):
+        seq = synthetic_sequence(num_frames=3)
+        result = transcode_ladder(seq, quality=2)
+        sizes = [r.compressed_bytes for r in result.renditions]
+        assert sizes == sorted(sizes, reverse=True)  # bigger rungs, more bytes
+
+    def test_quality_presets_monotone(self):
+        seq = synthetic_sequence(num_frames=3)
+        results = {q: transcode_ladder(seq, quality=q) for q in PRESET_QUANTIZERS}
+        assert (
+            results[1].total_compressed_bytes
+            < results[2].total_compressed_bytes
+            < results[3].total_compressed_bytes
+        )
+        assert results[1].mean_psnr_db < results[3].mean_psnr_db
+
+    def test_validation(self):
+        seq = synthetic_sequence(num_frames=2)
+        with pytest.raises(ValueError):
+            transcode_ladder(seq, quality=9)
+        with pytest.raises(ValueError):
+            transcode_ladder(seq, quality=1, ladder=())

@@ -1,0 +1,47 @@
+"""Tests for kernel-version descriptors."""
+
+import pytest
+
+from repro.oskernel.kernel import KERNEL_6_4, KERNEL_6_9, KernelVersion, get_kernel
+
+
+class TestKernelVersions:
+    def test_lookup(self):
+        assert get_kernel("6.4") is KERNEL_6_4
+        assert get_kernel("6.9") is KERNEL_6_9
+
+    def test_unknown_version(self):
+        with pytest.raises(KeyError, match="6.4"):
+            get_kernel("5.10")
+
+    def test_ratelimit_difference(self):
+        """The commit-1528c661 effect: 6.9 rate-limits load_avg updates."""
+        assert KERNEL_6_4.loadavg_update_ratio == 1.0
+        assert KERNEL_6_9.loadavg_update_ratio < 0.05
+
+
+class TestLoadAvgCost:
+    def test_superlinear_growth_with_cores(self):
+        c176 = KERNEL_6_4.loadavg_cost_cycles(176)
+        c384 = KERNEL_6_4.loadavg_cost_cycles(384)
+        core_ratio = 384 / 176
+        assert c384 / c176 > core_ratio**2  # superlinear
+
+    def test_small_machines_barely_affected(self):
+        assert KERNEL_6_4.loadavg_cost_cycles(36) < 0.05 * KERNEL_6_4.loadavg_cost_cycles(384)
+
+    def test_kernel_69_cheap_everywhere(self):
+        for cores in (36, 176, 384):
+            assert KERNEL_6_9.loadavg_cost_cycles(cores) <= (
+                0.05 * KERNEL_6_4.loadavg_cost_cycles(cores)
+            )
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            KERNEL_6_4.loadavg_cost_cycles(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelVersion(version="x", context_switch_us=0.0)
+        with pytest.raises(ValueError):
+            KernelVersion(version="x", loadavg_update_ratio=1.5)

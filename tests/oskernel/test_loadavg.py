@@ -1,0 +1,56 @@
+"""Tests for the scheduler-overhead fixed point."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oskernel.kernel import KERNEL_6_4, KERNEL_6_9
+from repro.oskernel.loadavg import LoadAvgContentionModel
+
+
+class TestFixedPoint:
+    def test_zero_rate_zero_overhead(self):
+        model = LoadAvgContentionModel(KERNEL_6_4)
+        result = model.solve(0.0, 176, 2.2)
+        assert result.overhead_fraction == 0.0
+
+    def test_converges(self):
+        model = LoadAvgContentionModel(KERNEL_6_4)
+        result = model.solve(3e6, 384, 2.3)
+        assert result.iterations < 20
+        # Self-consistency: recomputing from the converged rate agrees.
+        capacity = 384 * 2.3e9
+        expected = result.switch_rate_per_sec * result.per_event_cost_cycles / capacity
+        assert result.overhead_fraction == pytest.approx(expected, rel=1e-3)
+
+    def test_kernel_64_much_worse_on_many_cores(self):
+        rate = 4e6
+        o64 = LoadAvgContentionModel(KERNEL_6_4).solve(rate, 384, 2.3)
+        o69 = LoadAvgContentionModel(KERNEL_6_9).solve(rate, 384, 2.3)
+        assert o64.overhead_fraction > 5 * o69.overhead_fraction
+
+    def test_kernels_similar_on_176(self):
+        """The paper: only ~3% difference at 176 cores."""
+        rate = 2.5e6
+        o64 = LoadAvgContentionModel(KERNEL_6_4).solve(rate, 176, 2.2)
+        o69 = LoadAvgContentionModel(KERNEL_6_9).solve(rate, 176, 2.2)
+        assert abs(o64.overhead_fraction - o69.overhead_fraction) < 0.05
+
+    def test_input_validation(self):
+        model = LoadAvgContentionModel(KERNEL_6_4)
+        with pytest.raises(ValueError):
+            model.solve(-1.0, 176, 2.2)
+        with pytest.raises(ValueError):
+            model.solve(1e6, 0, 2.2)
+        with pytest.raises(ValueError):
+            model.solve(1e6, 176, 0.0)
+
+    @given(
+        rate=st.floats(0.0, 2e7),
+        cores=st.integers(1, 512),
+        freq=st.floats(1.0, 4.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_overhead_bounded(self, rate, cores, freq):
+        result = LoadAvgContentionModel(KERNEL_6_4).solve(rate, cores, freq)
+        assert 0.0 <= result.overhead_fraction <= 0.9
+        assert result.switch_rate_per_sec <= rate

@@ -1,0 +1,40 @@
+"""Tests for the syscall cost table."""
+
+import pytest
+
+from repro.oskernel.syscalls import (
+    SYSCALL_TABLE,
+    request_kernel_time_us,
+    syscall_cost_us,
+)
+
+
+class TestSyscallCosts:
+    def test_single_cost(self):
+        assert syscall_cost_us("read") == SYSCALL_TABLE["read"]
+
+    def test_count_multiplies(self):
+        assert syscall_cost_us("send", 10) == pytest.approx(
+            10 * SYSCALL_TABLE["send"]
+        )
+
+    def test_zero_count(self):
+        assert syscall_cost_us("read", 0) == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            syscall_cost_us("read", -1)
+
+    def test_unknown_syscall(self):
+        with pytest.raises(KeyError, match="epoll_wait"):
+            syscall_cost_us("bogus_call")
+
+    def test_request_mix(self):
+        mix = {"recv": 1, "send": 1, "epoll_wait": 2}
+        expected = (
+            SYSCALL_TABLE["recv"] + SYSCALL_TABLE["send"] + 2 * SYSCALL_TABLE["epoll_wait"]
+        )
+        assert request_kernel_time_us(mix) == pytest.approx(expected)
+
+    def test_all_costs_positive(self):
+        assert all(cost > 0 for cost in SYSCALL_TABLE.values())

@@ -1,0 +1,130 @@
+"""Tests for the Thrift compact protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rpc.compact import (
+    decode_compact_struct,
+    encode_compact_struct,
+    read_varint,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.rpc.protocol import ProtocolError
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "value,encoded", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)]
+    )
+    def test_known_mappings(self, value, encoded):
+        assert zigzag_encode(value) == encoded
+        assert zigzag_decode(encoded) == value
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_roundtrip(self, value):
+        out = bytearray()
+        write_varint(out, value)
+        decoded, pos = read_varint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_small_values_one_byte(self):
+        out = bytearray()
+        write_varint(out, 100)
+        assert len(out) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            write_varint(bytearray(), -1)
+
+    def test_truncation_detected(self):
+        with pytest.raises(ProtocolError):
+            read_varint(b"\x80\x80", 0)
+
+
+SCALARS = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**60), max_value=2**60),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+    st.binary(max_size=40),
+)
+
+
+class TestStructRoundTrip:
+    def _normalize(self, value):
+        if isinstance(value, str):
+            return value.encode("utf-8")
+        return value
+
+    @given(
+        fields=st.dictionaries(
+            st.integers(min_value=1, max_value=3000), SCALARS, max_size=10
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scalar_fields(self, fields):
+        decoded = decode_compact_struct(encode_compact_struct(fields))
+        assert set(decoded) == set(fields)
+        for fid, value in fields.items():
+            assert decoded[fid] == self._normalize(value)
+
+    def test_containers(self):
+        fields = {
+            1: [1, 2, 3],
+            2: {"a": 10, "b": 20},
+            3: [True, False, True],
+            5: list(range(20)),  # long-form list header
+        }
+        decoded = decode_compact_struct(encode_compact_struct(fields))
+        assert decoded[1] == [1, 2, 3]
+        assert decoded[2] == {"a": 10, "b": 20}
+        assert decoded[3] == [True, False, True]
+        assert decoded[5] == list(range(20))
+
+    def test_field_id_deltas_and_jumps(self):
+        fields = {1: 10, 2: 20, 100: 30, 2000: 40}
+        assert decode_compact_struct(encode_compact_struct(fields)) == fields
+
+    def test_none_fields_skipped(self):
+        decoded = decode_compact_struct(encode_compact_struct({1: None, 2: 5}))
+        assert decoded == {2: 5}
+
+    def test_bools_travel_in_type_nibble(self):
+        wire = encode_compact_struct({1: True, 2: False})
+        # 2 field headers + STOP: bools cost zero payload bytes.
+        assert len(wire) == 3
+
+    def test_missing_stop_detected(self):
+        wire = encode_compact_struct({1: 5})
+        with pytest.raises(ProtocolError):
+            decode_compact_struct(wire[:-1] + b"\x15")  # overwrite STOP
+
+    def test_invalid_field_id(self):
+        with pytest.raises(ProtocolError):
+            encode_compact_struct({0: 1})
+
+    def test_heterogeneous_list_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_compact_struct({1: [1, "two"]})
+
+
+class TestCompactVsBinary:
+    def test_compact_smaller_for_small_ints(self):
+        """The reason production prefers compact: varint integers."""
+        from repro.rpc.protocol import BinaryProtocolWriter, write_struct_fields
+
+        fields = {i: i * 3 for i in range(1, 20)}
+        writer = BinaryProtocolWriter()
+        write_struct_fields(writer, fields)
+        binary_size = len(writer.getvalue())
+        compact_size = len(encode_compact_struct(fields))
+        assert compact_size < 0.5 * binary_size

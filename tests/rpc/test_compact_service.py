@@ -1,0 +1,98 @@
+"""Tests for compact-protocol messages and protocol-selectable RPC."""
+
+import pytest
+
+from repro.rpc.compact import (
+    decode_compact_message,
+    encode_compact_message,
+)
+from repro.rpc.protocol import ProtocolError
+from repro.rpc.service import RpcClient, RpcError, RpcServer
+from repro.rpc.transport import InMemoryChannel
+
+
+class TestCompactMessage:
+    def test_roundtrip(self):
+        wire = encode_compact_message("getFeed", {1: 42, 2: "alice"}, seqid=9)
+        name, mtype, seqid, fields = decode_compact_message(wire)
+        assert name == "getFeed"
+        assert mtype == 1
+        assert seqid == 9
+        assert fields[1] == 42
+        assert fields[2] == b"alice"
+
+    def test_bad_protocol_id(self):
+        with pytest.raises(ProtocolError, match="protocol id"):
+            decode_compact_message(b"\x99\x21\x00")
+
+    def test_bad_version(self):
+        with pytest.raises(ProtocolError, match="version"):
+            decode_compact_message(bytes([0x82, 0x3F, 0x00]))
+
+    def test_mtype_range(self):
+        with pytest.raises(ProtocolError):
+            encode_compact_message("m", {}, mtype=9)
+
+    def test_compact_envelope_smaller_than_binary(self):
+        from repro.rpc.protocol import encode_message
+
+        fields = {i: i for i in range(1, 12)}
+        compact = encode_compact_message("method", fields, seqid=3)
+        binary = encode_message("method", fields, seqid=3)
+        assert len(compact) < 0.6 * len(binary)
+
+
+@pytest.fixture(params=["binary", "compact"])
+def rpc_pair(request):
+    channel = InMemoryChannel()
+    server = RpcServer(channel, protocol=request.param)
+    client = RpcClient(channel, server, protocol=request.param)
+    return server, client
+
+
+class TestProtocolSelectableService:
+    def test_call_roundtrip(self, rpc_pair):
+        server, client = rpc_pair
+        server.register("add", lambda f: {1: f[1] + f[2]})
+        assert client.call("add", {1: 20, 2: 22})[1] == 42
+
+    def test_exceptions_travel(self, rpc_pair):
+        server, client = rpc_pair
+
+        def boom(_):
+            raise RuntimeError("nope")
+
+        server.register("boom", boom)
+        with pytest.raises(RpcError, match="nope"):
+            client.call("boom", {})
+
+    def test_oneway(self, rpc_pair):
+        server, client = rpc_pair
+        seen = []
+        server.register("log", lambda f: seen.append(f[1]) or {})
+        client.call_oneway("log", {1: 5})
+        assert seen == [5]
+
+
+class TestProtocolMismatch:
+    def test_mismatched_protocols_rejected(self):
+        channel = InMemoryChannel()
+        server = RpcServer(channel, protocol="binary")
+        with pytest.raises(ValueError, match="does not match"):
+            RpcClient(channel, server, protocol="compact")
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            RpcServer(InMemoryChannel(), protocol="json")
+
+    def test_compact_uses_fewer_bytes_end_to_end(self):
+        def run(protocol):
+            channel = InMemoryChannel()
+            server = RpcServer(channel, protocol=protocol)
+            client = RpcClient(channel, server, protocol=protocol)
+            server.register("sum", lambda f: {1: sum(f[1])})
+            for _ in range(10):
+                client.call("sum", {1: list(range(30)), 2: 7, 3: 999})
+            return client.bytes_out + server.bytes_out
+
+        assert run("compact") < 0.6 * run("binary")

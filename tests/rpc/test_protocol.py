@@ -1,0 +1,142 @@
+"""Tests for the Thrift binary protocol codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rpc.protocol import (
+    BinaryProtocolReader,
+    BinaryProtocolWriter,
+    MessageType,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    read_struct_fields,
+    read_value,
+    thrift_type_of,
+    ThriftType,
+    write_struct_fields,
+    write_value,
+)
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [-(2**31), -1, 0, 1, 2**31 - 1])
+    def test_i32_roundtrip(self, value):
+        w = BinaryProtocolWriter()
+        w.write_i32(value)
+        assert BinaryProtocolReader(w.getvalue()).read_i32() == value
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_i64_roundtrip(self, value):
+        w = BinaryProtocolWriter()
+        w.write_i64(value)
+        assert BinaryProtocolReader(w.getvalue()).read_i64() == value
+
+    @given(st.floats(allow_nan=False))
+    def test_double_roundtrip(self, value):
+        w = BinaryProtocolWriter()
+        w.write_double(value)
+        assert BinaryProtocolReader(w.getvalue()).read_double() == value
+
+    @given(st.text(max_size=200))
+    def test_string_roundtrip(self, value):
+        w = BinaryProtocolWriter()
+        w.write_string(value)
+        assert BinaryProtocolReader(w.getvalue()).read_string() == value
+
+    @given(st.binary(max_size=500))
+    def test_binary_roundtrip(self, value):
+        w = BinaryProtocolWriter()
+        w.write_binary(value)
+        assert BinaryProtocolReader(w.getvalue()).read_binary() == value
+
+    def test_bool_roundtrip(self):
+        for flag in (True, False):
+            w = BinaryProtocolWriter()
+            w.write_bool(flag)
+            assert BinaryProtocolReader(w.getvalue()).read_bool() is flag
+
+
+class TestWireErrors:
+    def test_truncated_read_raises(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            BinaryProtocolReader(b"\x00\x01").read_i32()
+
+    def test_negative_string_length_raises(self):
+        w = BinaryProtocolWriter()
+        w.write_i32(-5)
+        with pytest.raises(ProtocolError):
+            BinaryProtocolReader(w.getvalue()).read_binary()
+
+    def test_bad_version_raises(self):
+        with pytest.raises(ProtocolError, match="version"):
+            decode_message(b"\x00\x00\x00\x05hello")
+
+
+class TestDynamicValues:
+    @given(
+        st.one_of(
+            st.booleans(),
+            st.integers(min_value=-(2**62), max_value=2**62),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=30),
+            st.lists(st.integers(min_value=0, max_value=100), max_size=5),
+            st.dictionaries(
+                st.text(min_size=1, max_size=8),
+                st.integers(min_value=0, max_value=100),
+                max_size=4,
+            ),
+        )
+    )
+    def test_value_roundtrip(self, value):
+        w = BinaryProtocolWriter()
+        write_value(w, value)
+        out = read_value(BinaryProtocolReader(w.getvalue()), thrift_type_of(value))
+        if isinstance(value, str):
+            assert out == value.encode("utf-8")
+        elif isinstance(value, bool):
+            assert out is value
+        else:
+            assert out == value
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ProtocolError):
+            thrift_type_of(object())
+
+    def test_heterogeneous_list_rejected(self):
+        w = BinaryProtocolWriter()
+        with pytest.raises(ProtocolError):
+            write_value(w, [1, "two"])
+
+
+class TestStructs:
+    def test_fields_roundtrip(self):
+        fields = {1: 42, 2: "hello", 3: [1, 2, 3], 5: {"k": 9}}
+        w = BinaryProtocolWriter()
+        write_struct_fields(w, fields)
+        out = read_struct_fields(BinaryProtocolReader(w.getvalue()))
+        assert out[1] == 42
+        assert out[2] == b"hello"
+        assert out[3] == [1, 2, 3]
+        assert out[5] == {"k": 9}
+
+    def test_none_fields_skipped(self):
+        w = BinaryProtocolWriter()
+        write_struct_fields(w, {1: None, 2: 7})
+        out = read_struct_fields(BinaryProtocolReader(w.getvalue()))
+        assert out == {2: 7}
+
+
+class TestMessages:
+    def test_envelope_roundtrip(self):
+        wire = encode_message("getFeed", {1: 99}, seqid=12, mtype=MessageType.CALL)
+        name, mtype, seqid, fields = decode_message(wire)
+        assert name == "getFeed"
+        assert mtype == MessageType.CALL
+        assert seqid == 12
+        assert fields[1] == 99
+
+    @pytest.mark.parametrize("mtype", list(MessageType))
+    def test_all_message_types(self, mtype):
+        wire = encode_message("m", {}, seqid=1, mtype=mtype)
+        assert decode_message(wire)[1] == mtype

@@ -1,0 +1,65 @@
+"""Tests for the RPC client/server pair."""
+
+import pytest
+
+from repro.rpc.service import RpcClient, RpcError, RpcServer
+from repro.rpc.transport import InMemoryChannel
+
+
+@pytest.fixture
+def rpc():
+    channel = InMemoryChannel()
+    server = RpcServer(channel)
+    client = RpcClient(channel, server)
+    return server, client
+
+
+class TestCalls:
+    def test_roundtrip(self, rpc):
+        server, client = rpc
+        server.register("add", lambda f: {1: f[1] + f[2]})
+        assert client.call("add", {1: 2, 2: 3})[1] == 5
+
+    def test_multiple_sequential_calls(self, rpc):
+        server, client = rpc
+        server.register("echo", lambda f: f)
+        for i in range(5):
+            assert client.call("echo", {1: i})[1] == i
+        assert server.calls_served == 5
+
+    def test_unknown_method(self, rpc):
+        server, client = rpc
+        with pytest.raises(RpcError, match="no handler"):
+            client.call("missing", {})
+
+    def test_handler_exception_travels(self, rpc):
+        server, client = rpc
+
+        def boom(_fields):
+            raise RuntimeError("backend down")
+
+        server.register("explode", boom)
+        with pytest.raises(RpcError, match="backend down"):
+            client.call("explode", {})
+
+    def test_oneway_has_no_reply(self, rpc):
+        server, client = rpc
+        seen = []
+        server.register("log", lambda f: seen.append(f[1]) or {})
+        client.call_oneway("log", {1: 7})
+        assert seen == [7]
+        assert rpc[1].channel.recv_a() is None
+
+    def test_duplicate_registration_rejected(self, rpc):
+        server, _ = rpc
+        server.register("m", lambda f: {})
+        with pytest.raises(ValueError):
+            server.register("m", lambda f: {})
+
+    def test_byte_accounting(self, rpc):
+        server, client = rpc
+        server.register("echo", lambda f: f)
+        client.call("echo", {1: "payload"})
+        assert client.bytes_out > 0
+        assert server.bytes_in == client.bytes_out
+        assert server.bytes_out > 0

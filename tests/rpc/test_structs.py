@@ -1,0 +1,91 @@
+"""Tests for declarative struct schemas."""
+
+import pytest
+
+from repro.rpc.protocol import ProtocolError
+from repro.rpc.structs import ThriftField, ThriftStruct, struct_from_dict
+
+
+def story_schema():
+    return ThriftStruct(
+        "Story",
+        [
+            ThriftField(1, "story_id"),
+            ThriftField(2, "author"),
+            ThriftField(3, "score", required=False),
+        ],
+    )
+
+
+class TestSchemaValidation:
+    def test_duplicate_field_ids(self):
+        with pytest.raises(ValueError):
+            ThriftStruct("S", [ThriftField(1, "a"), ThriftField(1, "b")])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ThriftStruct("S", [ThriftField(1, "a"), ThriftField(2, "a")])
+
+    def test_field_id_starts_at_one(self):
+        with pytest.raises(ValueError):
+            ThriftField(0, "a")
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        schema = story_schema()
+        wire = schema.encode({"story_id": 7, "author": "alice", "score": 0.9})
+        out = schema.decode(wire)
+        assert out["story_id"] == 7
+        assert out["author"] == b"alice"
+        assert out["score"] == pytest.approx(0.9)
+
+    def test_optional_field_omitted(self):
+        schema = story_schema()
+        out = schema.decode(schema.encode({"story_id": 7, "author": "a"}))
+        assert "score" not in out
+
+    def test_missing_required_on_encode(self):
+        with pytest.raises(ProtocolError, match="author"):
+            story_schema().encode({"story_id": 7})
+
+    def test_unknown_field_on_encode(self):
+        with pytest.raises(ProtocolError, match="bogus"):
+            story_schema().encode({"story_id": 7, "author": "a", "bogus": 1})
+
+    def test_unknown_wire_field_skipped_on_decode(self):
+        """Forward compatibility: newer senders add fields."""
+        extended = ThriftStruct(
+            "StoryV2",
+            [
+                ThriftField(1, "story_id"),
+                ThriftField(2, "author"),
+                ThriftField(9, "new_field"),
+            ],
+        )
+        wire = extended.encode(
+            {"story_id": 1, "author": "a", "new_field": "x"}
+        )
+        out = story_schema().decode(wire)
+        assert out["story_id"] == 1
+        assert "new_field" not in out
+
+    def test_missing_required_on_decode(self):
+        other = ThriftStruct("Other", [ThriftField(5, "z")])
+        wire = other.encode({"z": 1})
+        with pytest.raises(ProtocolError, match="story_id"):
+            story_schema().decode(wire)
+
+    def test_wire_size(self):
+        schema = story_schema()
+        small = schema.wire_size({"story_id": 1, "author": "a"})
+        big = schema.wire_size({"story_id": 1, "author": "a" * 100})
+        assert big == small + 99
+
+
+class TestStructFromDict:
+    def test_derives_sorted_schema(self):
+        schema = struct_from_dict("Auto", {"b": 1, "a": 2})
+        assert [f.name for f in schema.fields] == ["a", "b"]
+        out = schema.decode(schema.encode({"a": 2, "b": 1}))
+        assert out == {"a": 2, "b": 1}

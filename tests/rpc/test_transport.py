@@ -1,0 +1,82 @@
+"""Tests for framed transport and in-memory channels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rpc.transport import (
+    FramedTransport,
+    InMemoryChannel,
+    MAX_FRAME_BYTES,
+    TransportError,
+)
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        t = FramedTransport()
+        t.feed(FramedTransport.frame(b"hello"))
+        assert t.next_frame() == b"hello"
+        assert t.next_frame() is None
+
+    def test_partial_feed(self):
+        wire = FramedTransport.frame(b"payload")
+        t = FramedTransport()
+        t.feed(wire[:3])
+        assert t.next_frame() is None
+        t.feed(wire[3:6])
+        assert t.next_frame() is None
+        t.feed(wire[6:])
+        assert t.next_frame() == b"payload"
+
+    def test_multiple_frames_in_one_feed(self):
+        t = FramedTransport()
+        t.feed(FramedTransport.frame(b"a") + FramedTransport.frame(b"bb"))
+        assert t.next_frame() == b"a"
+        assert t.next_frame() == b"bb"
+
+    def test_oversized_frame_rejected_on_send(self):
+        with pytest.raises(TransportError):
+            FramedTransport.frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_advertised_length_rejected(self):
+        t = FramedTransport()
+        t.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(TransportError):
+            t.next_frame()
+
+    @given(payloads=st.lists(st.binary(max_size=200), min_size=1, max_size=10),
+           chunk=st.integers(1, 17))
+    def test_arbitrary_chunking(self, payloads, chunk):
+        wire = b"".join(FramedTransport.frame(p) for p in payloads)
+        t = FramedTransport()
+        out = []
+        for i in range(0, len(wire), chunk):
+            t.feed(wire[i : i + chunk])
+            while True:
+                frame = t.next_frame()
+                if frame is None:
+                    break
+                out.append(frame)
+        assert out == payloads
+        assert t.buffered_bytes == 0
+
+
+class TestInMemoryChannel:
+    def test_bidirectional(self):
+        ch = InMemoryChannel()
+        ch.send_a(b"ping")
+        assert ch.recv_b() == b"ping"
+        ch.send_b(b"pong")
+        assert ch.recv_a() == b"pong"
+
+    def test_empty_recv_none(self):
+        ch = InMemoryChannel()
+        assert ch.recv_a() is None
+        assert ch.recv_b() is None
+
+    def test_byte_counters(self):
+        ch = InMemoryChannel()
+        ch.send_a(b"12345")
+        ch.send_b(b"123")
+        assert ch.bytes_sent_a == 5
+        assert ch.bytes_sent_b == 3

@@ -1,0 +1,124 @@
+"""Tests for the all_of / any_of combinators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Environment
+from repro.sim.events import all_of, any_of
+
+
+class TestAllOf:
+    def test_waits_for_slowest(self, env):
+        events = [env.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        fired = []
+
+        def proc():
+            values = yield all_of(env, events)
+            fired.append((env.now, values))
+
+        env.process(proc())
+        env.run()
+        assert fired == [(3.0, [3.0, 1.0, 2.0])]
+
+    def test_empty_fires_immediately(self, env):
+        result = all_of(env, [])
+        assert result.triggered
+        assert result.value == []
+
+    def test_already_finished_inputs(self, env):
+        first = env.timeout(1.0, value="a")
+        env.run()  # first is processed
+        second = env.timeout(1.0, value="b")
+        caught = []
+
+        def proc():
+            values = yield all_of(env, [first, second])
+            caught.append(values)
+
+        env.process(proc())
+        env.run()
+        assert caught == [["a", "b"]]
+
+    def test_failure_propagates(self, env):
+        good = env.timeout(1.0)
+        bad = env.event()
+        caught = []
+
+        def proc():
+            try:
+                yield all_of(env, [good, bad])
+            except RuntimeError as exc:
+                caught.append((env.now, str(exc)))
+
+        env.process(proc())
+        bad.fail(RuntimeError("leaf died"))
+        env.run()
+        assert caught == [(0.0, "leaf died")]
+
+    @given(delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_fires_at_max_delay(self, delays):
+        env = Environment()
+        events = [env.timeout(d, value=d) for d in delays]
+        joined = all_of(env, events)
+        env.run()
+        assert joined.value == delays
+        assert env.now == pytest.approx(max(delays))
+
+
+class TestAnyOf:
+    def test_first_wins(self, env):
+        events = [env.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        fired = []
+
+        def proc():
+            winner = yield any_of(env, events)
+            fired.append((env.now, winner))
+
+        env.process(proc())
+        env.run()
+        assert fired == [(1.0, (1, 1.0))]
+
+    def test_empty_rejected(self, env):
+        with pytest.raises(ValueError):
+            any_of(env, [])
+
+    def test_already_finished_input_wins_instantly(self, env):
+        done = env.timeout(0.5, value="fast")
+        env.run()
+        slow = env.timeout(10.0)
+        fired = []
+
+        def proc():
+            winner = yield any_of(env, [slow, done])
+            fired.append(winner)
+
+        env.process(proc())
+        env.run(until=1.0)
+        assert fired == [(1, "fast")]
+
+    def test_failure_wins_as_exception(self, env):
+        bad = env.event()
+        caught = []
+
+        def proc():
+            try:
+                yield any_of(env, [env.timeout(5.0), bad])
+            except RuntimeError:
+                caught.append(env.now)
+
+        env.process(proc())
+        bad.fail(RuntimeError("boom"))
+        env.run()
+        assert caught == [0.0]
+
+    @given(delays=st.lists(st.floats(0.01, 50.0), min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_fires_at_min_delay(self, delays):
+        env = Environment()
+        events = [env.timeout(d, value=d) for d in delays]
+        race = any_of(env, events)
+        env.run()
+        index, value = race.value
+        assert value == pytest.approx(min(delays))
+        assert delays[index] == value

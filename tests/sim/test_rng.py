@@ -1,0 +1,128 @@
+"""Tests for deterministic RNG streams and samplers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import (
+    EmpiricalDistribution,
+    RngStreams,
+    ZipfSampler,
+    exponential,
+    lognormal_from_mean_cv,
+)
+
+
+class TestRngStreams:
+    def test_same_name_same_stream(self):
+        streams = RngStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(7).stream("arrivals")
+        b = RngStreams(7).stream("arrivals")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_independent(self):
+        streams = RngStreams(7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_spawn_differs_from_parent(self):
+        parent = RngStreams(7)
+        child = parent.spawn("tao")
+        assert parent.stream("x").random() != child.stream("x").random()
+
+    def test_different_seeds_differ(self):
+        assert RngStreams(1).stream("s").random() != RngStreams(2).stream("s").random()
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = RngStreams(3).stream("exp")
+        samples = [exponential(rng, 2.0) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_exponential_invalid_mean(self):
+        rng = RngStreams(3).stream("exp")
+        with pytest.raises(ValueError):
+            exponential(rng, 0.0)
+
+    def test_lognormal_mean_and_positivity(self):
+        rng = RngStreams(3).stream("ln")
+        samples = [lognormal_from_mean_cv(rng, 150.0, 1.2) for _ in range(20000)]
+        assert all(s > 0 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(150.0, rel=0.1)
+
+    def test_lognormal_invalid_params(self):
+        rng = RngStreams(3).stream("ln")
+        with pytest.raises(ValueError):
+            lognormal_from_mean_cv(rng, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            lognormal_from_mean_cv(rng, 1.0, 0.0)
+
+
+class TestZipfSampler:
+    def test_rank_one_most_popular(self):
+        zipf = ZipfSampler(1000, 0.99)
+        rng = RngStreams(5).stream("zipf")
+        counts = {}
+        for _ in range(20000):
+            rank = zipf.sample(rng)
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts[1] == max(counts.values())
+
+    def test_samples_in_range(self):
+        zipf = ZipfSampler(50, 1.1)
+        rng = RngStreams(5).stream("zipf")
+        assert all(1 <= zipf.sample(rng) <= 50 for _ in range(2000))
+
+    def test_hit_fraction_monotone(self):
+        zipf = ZipfSampler(10000, 0.99)
+        fractions = [zipf.hit_fraction(k) for k in (1, 10, 100, 1000, 10000)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_hit_fraction_bounds(self):
+        zipf = ZipfSampler(100, 0.9)
+        assert zipf.hit_fraction(0) == 0.0
+        assert zipf.hit_fraction(200) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5)
+
+    @given(n=st.integers(1, 500), s=st.floats(0.0, 2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_cdf_is_valid(self, n, s):
+        zipf = ZipfSampler(n, s)
+        cdf = zipf._cdf
+        assert cdf[-1] == pytest.approx(1.0)
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+
+class TestEmpiricalDistribution:
+    def test_sampling_respects_weights(self):
+        dist = EmpiricalDistribution([10.0, 20.0], [0.9, 0.1])
+        rng = RngStreams(9).stream("emp")
+        samples = [dist.sample(rng) for _ in range(5000)]
+        share_10 = samples.count(10.0) / len(samples)
+        assert share_10 == pytest.approx(0.9, abs=0.03)
+
+    def test_mean(self):
+        dist = EmpiricalDistribution([10.0, 20.0], [0.5, 0.5])
+        assert dist.mean() == pytest.approx(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([], [])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0], [-1.0])
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([1.0, 2.0], [0.0, 0.0])

@@ -1,0 +1,79 @@
+"""Cross-module integration tests.
+
+These exercise the full stack — workload model on the simulated server
+with calibrated profiles, wrapped by the DCPerf framework with hooks —
+and check the paper's headline relationships end to end.
+"""
+
+import pytest
+
+from repro.core.benchmark import Benchmark
+from repro.core.suite import DCPerfSuite
+from repro.workloads.base import RunConfig
+from repro.workloads.registry import dcperf_benchmarks
+
+
+QUICK = RunConfig(sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.6)
+
+
+class TestEveryBenchmarkEndToEnd:
+    @pytest.mark.parametrize("name", dcperf_benchmarks())
+    def test_full_report(self, name):
+        report = Benchmark.by_name(name).run(QUICK)
+        assert report.metric_value > 0
+        assert 0 < report.result.cpu_util <= 1.0
+        assert report.result.steady is not None
+        assert report.hook_sections["topdown"]
+        assert report.system["sku"] == "SKU2"
+
+    @pytest.mark.parametrize("name", dcperf_benchmarks())
+    def test_deterministic_given_seed(self, name):
+        a = Benchmark.by_name(name).run(QUICK)
+        b = Benchmark.by_name(name).run(QUICK)
+        assert a.metric_value == pytest.approx(b.metric_value, rel=1e-9)
+
+
+class TestPaperHeadlines:
+    """The claims a reader would check first."""
+
+    def test_fidelity_utilization_ordering(self):
+        """Figure 9's qualitative ordering: web saturates, caching runs
+        hot but not saturated, ranking is SLO-bound in the middle."""
+        results = {
+            name: Benchmark.by_name(name).run(QUICK).result
+            for name in ("mediawiki", "taobench", "feedsim")
+        }
+        assert results["mediawiki"].cpu_util > results["taobench"].cpu_util - 0.05
+        assert results["taobench"].cpu_util > results["feedsim"].cpu_util
+
+    def test_kernel_time_ordering(self):
+        """Figure 9: caching spends far more time in the kernel than
+        media processing."""
+        tao = Benchmark.by_name("taobench").run(QUICK).result
+        video = Benchmark.by_name("videotranscode").run(QUICK).result
+        assert tao.kernel_util > 4 * video.kernel_util
+
+    def test_icache_pressure_ordering(self):
+        """Figure 8: web and caching stress the I-cache; spark barely."""
+        mw = Benchmark.by_name("mediawiki").run(QUICK).result
+        spark = Benchmark.by_name("sparkbench").run(RunConfig(sku_name="SKU2")).result
+        assert mw.steady.misses.l1i_mpki > 2 * spark.steady.misses.l1i_mpki
+
+    def test_spark_has_highest_ipc(self):
+        """Figure 6: Spark's IPC (2.6) towers over web (~1.0-1.4)."""
+        spark = Benchmark.by_name("sparkbench").run(RunConfig(sku_name="SKU2")).result
+        dj = Benchmark.by_name("djangobench").run(QUICK).result
+        assert spark.steady.ipc_per_physical_core > 1.5 * dj.steady.ipc_per_physical_core
+
+
+class TestSuiteAcrossSkus:
+    def test_two_sku_suite_scaling(self):
+        suite = DCPerfSuite(
+            benchmark_names=["taobench", "videotranscode"], measure_seconds=0.5
+        )
+        sku1 = suite.run("SKU1")
+        sku2 = suite.run("SKU2")
+        assert sku1.overall_score == pytest.approx(1.0)
+        # SKU2 has 1.44x the cores; suite score improves but less than
+        # a naive core-count ratio once per-core regression is priced.
+        assert 1.1 < sku2.overall_score < 1.8

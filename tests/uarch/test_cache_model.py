@@ -1,0 +1,94 @@
+"""Tests for the cache miss-rate model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cache import standard_x86_hierarchy
+from repro.uarch.cache_model import CacheMissModel, MissProfile
+from repro.uarch.characteristics import WorkloadCharacteristics
+
+
+def chars(**overrides):
+    params = dict(
+        name="w", category="web", code_footprint_kb=500.0,
+        mem_refs_per_kinstr=350.0, data_reuse_kb=16.0, locality_beta=0.55,
+    )
+    params.update(overrides)
+    return WorkloadCharacteristics(**params)
+
+
+class TestMissProfile:
+    def test_hierarchy_monotonicity_enforced(self):
+        with pytest.raises(ValueError):
+            MissProfile(l1i_mpki=10, l1d_mpki=5, l2_mpki=8, llc_mpki=2)
+
+    def test_negative_l1i_rejected(self):
+        with pytest.raises(ValueError):
+            MissProfile(l1i_mpki=-1, l1d_mpki=5, l2_mpki=3, llc_mpki=1)
+
+
+class TestL1iModel:
+    def test_bigger_footprint_more_misses(self):
+        model = CacheMissModel(standard_x86_hierarchy())
+        small = model.l1i_mpki(chars(code_footprint_kb=50))
+        large = model.l1i_mpki(chars(code_footprint_kb=2000))
+        assert large > small
+
+    def test_context_switches_add_misses(self):
+        model = CacheMissModel(standard_x86_hierarchy())
+        calm = model.l1i_mpki(chars(switches_per_kinstr=0.0))
+        thrashy = model.l1i_mpki(chars(switches_per_kinstr=1.5))
+        assert thrashy > calm + 30  # 25 misses per switch
+
+    def test_bigger_l1i_fewer_misses(self):
+        small = CacheMissModel(standard_x86_hierarchy(l1i_kb=32))
+        big = CacheMissModel(standard_x86_hierarchy(l1i_kb=128))
+        c = chars(code_footprint_kb=1000)
+        assert big.l1i_mpki(c) < small.l1i_mpki(c)
+
+    def test_replacement_quality_reduces_misses(self):
+        """The Section 5.2 vendor-optimization mechanism."""
+        base = CacheMissModel(standard_x86_hierarchy())
+        improved = CacheMissModel(
+            standard_x86_hierarchy().with_replacement_quality(1.56)
+        )
+        c = chars()
+        reduction = 1.0 - improved.l1i_mpki(c) / base.l1i_mpki(c)
+        assert reduction == pytest.approx(0.36, abs=0.01)
+
+
+class TestDataSideModel:
+    def test_profile_monotone_down_hierarchy(self):
+        model = CacheMissModel(standard_x86_hierarchy(), active_cores=26)
+        p = model.profile(chars())
+        assert p.l1d_mpki >= p.l2_mpki >= p.llc_mpki >= 0
+
+    def test_more_active_cores_more_llc_misses(self):
+        c = chars(data_reuse_kb=500.0)
+        few = CacheMissModel(standard_x86_hierarchy(), active_cores=4).profile(c)
+        many = CacheMissModel(standard_x86_hierarchy(), active_cores=32).profile(c)
+        assert many.llc_mpki > few.llc_mpki
+
+    def test_invalid_active_cores(self):
+        with pytest.raises(ValueError):
+            CacheMissModel(standard_x86_hierarchy(), active_cores=0)
+
+    @given(
+        reuse=st.floats(0.1, 10000.0),
+        beta=st.floats(0.1, 1.5),
+        refs=st.floats(10.0, 600.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_profile_always_valid(self, reuse, beta, refs):
+        model = CacheMissModel(standard_x86_hierarchy(), active_cores=26)
+        p = model.profile(
+            chars(data_reuse_kb=reuse, locality_beta=beta, mem_refs_per_kinstr=refs)
+        )
+        assert 0 <= p.llc_mpki <= p.l2_mpki <= p.l1d_mpki <= refs
+
+    @given(size_small=st.floats(8.0, 64.0), size_big=st.floats(65.0, 1024.0))
+    @settings(max_examples=30, deadline=None)
+    def test_miss_ratio_monotone_in_cache_size(self, size_small, size_big):
+        model = CacheMissModel(standard_x86_hierarchy())
+        c = chars()
+        assert model.miss_ratio(size_big, c) <= model.miss_ratio(size_small, c)

@@ -1,0 +1,109 @@
+"""Tests for the closed-form calibration inversion."""
+
+import pytest
+
+from repro.uarch.calibrate import (
+    FidelityTargets,
+    StructuralParams,
+    calibrate,
+    verify_roundtrip,
+)
+from repro.workloads.targets import (
+    BENCHMARK_TARGETS,
+    PRODUCTION_TARGETS,
+    SPEC2006_TARGETS,
+    SPEC2017_TARGETS,
+)
+from repro.workloads.profiles import (
+    BENCHMARK_PROFILES,
+    PRODUCTION_PROFILES,
+    SPEC2017_PROFILES,
+)
+from repro.workloads.spec import SPEC2006_PROFILES
+
+
+def _all_pairs():
+    pairs = []
+    for targets, profiles in (
+        (BENCHMARK_TARGETS, BENCHMARK_PROFILES),
+        (PRODUCTION_TARGETS, PRODUCTION_PROFILES),
+        (SPEC2017_TARGETS, SPEC2017_PROFILES),
+        (SPEC2006_TARGETS, SPEC2006_PROFILES),
+    ):
+        for name in targets:
+            pairs.append((targets[name], profiles[name]))
+    return pairs
+
+
+class TestRoundTrip:
+    """Every calibrated profile must reproduce its published targets
+    when run forward through the model on the reference SKU."""
+
+    @pytest.mark.parametrize(
+        "targets,profile", _all_pairs(), ids=lambda x: getattr(x, "name", "")
+    )
+    def test_forward_model_matches_targets(self, targets, profile):
+        errors = verify_roundtrip(targets, profile, tolerance=0.13)
+        assert errors["l1i_mpki"] < 0.13
+        assert errors["freq_ghz"] < 0.13
+
+
+class TestFidelityTargets:
+    def test_tmam_sum_validation(self):
+        with pytest.raises(ValueError):
+            FidelityTargets(
+                name="bad", category="web",
+                frontend=0.5, bad_speculation=0.5, backend=0.5, retiring=0.5,
+                l1i_mpki=10, membw_gbps=10, cpu_util=0.9, sys_util=0.1,
+                freq_ghz=2.0,
+            )
+
+    def test_sys_util_bound(self):
+        with pytest.raises(ValueError):
+            FidelityTargets(
+                name="bad", category="web",
+                frontend=0.25, bad_speculation=0.25, backend=0.25, retiring=0.25,
+                l1i_mpki=10, membw_gbps=10, cpu_util=0.5, sys_util=0.6,
+                freq_ghz=2.0,
+            )
+
+
+class TestCalibrateMechanics:
+    def make(self, **target_overrides):
+        base = dict(
+            name="synthetic", category="web",
+            frontend=0.35, bad_speculation=0.10, backend=0.20, retiring=0.35,
+            l1i_mpki=30.0, membw_gbps=25.0, cpu_util=0.95, sys_util=0.10,
+            freq_ghz=1.95,
+        )
+        base.update(target_overrides)
+        return FidelityTargets(**base)
+
+    def test_switch_rate_scaled_back_when_overshooting(self):
+        """A declared switch rate that alone exceeds the L1I target is
+        reduced so the footprint term keeps a share."""
+        targets = self.make(l1i_mpki=20.0)
+        structure = StructuralParams(
+            instructions_per_request=1e8, switches_per_kinstr=5.0
+        )
+        chars = calibrate(targets, structure)
+        assert chars.switches_per_kinstr < 5.0
+        assert chars.code_footprint_kb >= 1.0
+
+    def test_kernel_frac_derived_from_utils(self):
+        targets = self.make(cpu_util=0.80, sys_util=0.20)
+        chars = calibrate(targets, StructuralParams(instructions_per_request=1e8))
+        assert chars.kernel_frac == pytest.approx(0.25)
+
+    def test_higher_membw_target_means_poorer_locality(self):
+        structure = StructuralParams(instructions_per_request=1e8)
+        low = calibrate(self.make(membw_gbps=10.0), structure)
+        high = calibrate(self.make(membw_gbps=40.0), structure)
+        # A larger reuse scale means poorer locality -> more misses.
+        assert high.data_reuse_kb > low.data_reuse_kb
+
+    def test_mlp_solved_within_bounds(self):
+        chars = calibrate(
+            self.make(), StructuralParams(instructions_per_request=1e8)
+        )
+        assert 1.0 <= chars.memory_level_parallelism <= 64.0

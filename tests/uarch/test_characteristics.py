@@ -1,0 +1,89 @@
+"""Tests for workload characteristics and tax profiles."""
+
+import pytest
+
+from repro.uarch.characteristics import TaxProfile, WorkloadCharacteristics
+
+
+def make_chars(**overrides):
+    params = dict(
+        name="test",
+        category="web",
+        code_footprint_kb=500.0,
+    )
+    params.update(overrides)
+    return WorkloadCharacteristics(**params)
+
+
+class TestTaxProfile:
+    def test_default_is_all_app(self):
+        profile = TaxProfile()
+        assert profile.app_fraction == pytest.approx(1.0)
+        assert profile.tax_fraction == pytest.approx(0.0)
+
+    def test_app_vs_tax_split(self):
+        profile = TaxProfile({"app:logic": 0.6, "rpc": 0.25, "compression": 0.15})
+        assert profile.app_fraction == pytest.approx(0.6)
+        assert profile.tax_fraction == pytest.approx(0.4)
+        assert profile.share("rpc") == pytest.approx(0.25)
+        assert profile.share("missing") == 0.0
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TaxProfile({"app:x": 0.5, "rpc": 0.2})
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            TaxProfile({"app:x": 1.2, "rpc": -0.2})
+
+    def test_scaled_tax_preserves_sum(self):
+        profile = TaxProfile({"app:logic": 0.6, "rpc": 0.3, "hashing": 0.1})
+        scaled = profile.scaled_tax(0.5)
+        assert sum(scaled.shares.values()) == pytest.approx(1.0)
+        assert scaled.tax_fraction == pytest.approx(0.2)
+        assert scaled.app_fraction == pytest.approx(0.8)
+
+    def test_scaled_tax_to_zero(self):
+        profile = TaxProfile({"app:logic": 0.6, "rpc": 0.4})
+        scaled = profile.scaled_tax(0.0)
+        assert scaled.tax_fraction == pytest.approx(0.0)
+
+    def test_scaled_tax_overflow_rejected(self):
+        profile = TaxProfile({"app:logic": 0.2, "rpc": 0.8})
+        with pytest.raises(ValueError):
+            profile.scaled_tax(1.5)
+
+
+class TestWorkloadCharacteristics:
+    def test_defaults_valid(self):
+        chars = make_chars()
+        assert chars.code_footprint_kb == 500.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("code_footprint_kb", 0.0),
+            ("data_reuse_kb", -1.0),
+            ("branch_mispredict_rate", 1.5),
+            ("kernel_frac", -0.1),
+            ("locality_beta", 0.0),
+            ("switches_per_kinstr", -0.5),
+            ("frontend_overlap", 0.0),
+            ("frontend_extra_cpk", -1.0),
+            ("instructions_per_request", 0.0),
+        ],
+    )
+    def test_field_validation(self, field, value):
+        with pytest.raises(ValueError):
+            make_chars(**{field: value})
+
+    def test_evolve_replaces_fields(self):
+        chars = make_chars()
+        evolved = chars.evolve(kernel_frac=0.3, name="evolved")
+        assert evolved.kernel_frac == 0.3
+        assert evolved.name == "evolved"
+        assert chars.kernel_frac != 0.3 or chars.name == "test"
+
+    def test_evolve_validates(self):
+        with pytest.raises(ValueError):
+            make_chars().evolve(kernel_frac=2.0)

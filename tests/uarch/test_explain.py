@@ -1,0 +1,51 @@
+"""Tests for the cycle-breakdown explainer."""
+
+import pytest
+
+from repro.hw.sku import get_sku
+from repro.uarch.explain import explain_state
+from repro.workloads.profiles import BENCHMARK_PROFILES, SPEC2017_PROFILES
+from repro.workloads.targets import BENCHMARK_TARGETS
+
+
+class TestExplain:
+    @pytest.mark.parametrize("name", sorted(BENCHMARK_PROFILES))
+    def test_contributors_sum_to_total(self, name):
+        chars = BENCHMARK_PROFILES[name]
+        util = BENCHMARK_TARGETS[name].cpu_util
+        breakdown = explain_state(chars, get_sku("SKU2"), cpu_util=util)
+        assert sum(breakdown.contributors.values()) == pytest.approx(
+            breakdown.total_cpk, rel=0.02
+        )
+        assert all(v >= 0 for v in breakdown.contributors.values())
+
+    def test_web_dominated_by_frontend_terms(self):
+        breakdown = explain_state(
+            BENCHMARK_PROFILES["mediawiki"], get_sku("SKU2"), cpu_util=0.95
+        )
+        shares = breakdown.shares()
+        frontend = shares["L1I miss bubbles"] + shares["decode/ITLB"]
+        assert frontend > shares["DRAM stalls"]
+        assert frontend > 0.25
+
+    def test_mcf_dominated_by_dram(self):
+        breakdown = explain_state(
+            SPEC2017_PROFILES["505.mcf"], get_sku("SKU2"), cpu_util=1.0
+        )
+        assert breakdown.ranked()[0] == "DRAM stalls"
+
+    def test_spark_dominated_by_issue_limit(self):
+        """High-IPC Spark spends most slots actually retiring."""
+        breakdown = explain_state(
+            BENCHMARK_PROFILES["sparkbench"], get_sku("SKU2"), cpu_util=0.73
+        )
+        assert breakdown.ranked()[0] == "issue limit"
+
+    def test_render_is_readable(self):
+        breakdown = explain_state(
+            BENCHMARK_PROFILES["taobench"], get_sku("SKU2"), cpu_util=0.86
+        )
+        text = breakdown.render()
+        assert "taobench on SKU2" in text
+        assert "L1I miss bubbles" in text
+        assert text.count("\n") == len(breakdown.contributors)

@@ -1,0 +1,100 @@
+"""Tests for the steady-state projection engine."""
+
+import pytest
+
+from repro.hw.sku import get_sku
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.projection import ProjectionEngine
+
+
+def chars(**overrides):
+    params = dict(
+        name="w", category="web", code_footprint_kb=800.0,
+        mem_refs_per_kinstr=350.0, data_reuse_kb=8.0, locality_beta=0.55,
+        branch_mispredict_rate=0.03, dependency_cpk=40.0,
+        kernel_frac=0.10, instructions_per_request=2e8,
+        network_bytes_per_request=50_000.0,
+    )
+    params.update(overrides)
+    return WorkloadCharacteristics(**params)
+
+
+class TestSolve:
+    def setup_method(self):
+        self.engine = ProjectionEngine(get_sku("SKU2"))
+
+    def test_state_fields_consistent(self):
+        state = self.engine.solve(chars(), cpu_util=0.9)
+        assert state.sku == "SKU2"
+        assert state.instructions_per_second > 0
+        assert state.requests_per_second == pytest.approx(
+            state.instructions_per_second / 2e8
+        )
+        assert 0 < state.memory_bandwidth_fraction <= 1.0
+        assert state.power_watts == pytest.approx(
+            state.power.total * 400.0
+        )
+
+    def test_util_scales_throughput(self):
+        low = self.engine.solve(chars(), cpu_util=0.4)
+        high = self.engine.solve(chars(), cpu_util=0.9)
+        assert high.instructions_per_second > low.instructions_per_second
+
+    def test_scaling_efficiency_scales_throughput(self):
+        perfect = self.engine.solve(chars(), 0.9, scaling_efficiency=1.0)
+        lossy = self.engine.solve(chars(), 0.9, scaling_efficiency=0.7)
+        # Slightly above exactly-proportional because the lower rate
+        # relieves memory-bandwidth contention (higher IPC).
+        assert lossy.instructions_per_second < perfect.instructions_per_second
+        assert lossy.instructions_per_second >= 0.7 * perfect.instructions_per_second
+
+    def test_bandwidth_never_exceeds_peak(self):
+        hungry = chars(
+            data_reuse_kb=100_000.0, locality_beta=0.2, mem_refs_per_kinstr=500.0
+        )
+        state = self.engine.solve(hungry, cpu_util=1.0)
+        assert state.memory_bandwidth_gbps <= get_sku("SKU2").memory.peak_bw_gbps
+
+    def test_network_util_estimated_when_absent(self):
+        state = self.engine.solve(chars(), cpu_util=0.9)
+        # 25 Gbps NIC; the estimate must be a valid fraction.
+        assert 0.0 <= state.power.soc  # soc power consumed the estimate
+        explicit = self.engine.solve(chars(), cpu_util=0.9, network_util=0.9)
+        assert explicit.power.soc >= state.power.soc
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            self.engine.solve(chars(), cpu_util=0.0)
+        with pytest.raises(ValueError):
+            self.engine.solve(chars(), cpu_util=0.5, scaling_efficiency=1.5)
+
+    def test_perf_per_watt(self):
+        state = self.engine.solve(chars(), cpu_util=0.9)
+        assert state.perf_per_watt() == pytest.approx(
+            state.requests_per_second / state.power_watts
+        )
+
+
+class TestCrossSku:
+    def test_bigger_sku_more_throughput(self):
+        c = chars()
+        small = ProjectionEngine(get_sku("SKU1")).solve(c, 0.9)
+        large = ProjectionEngine(get_sku("SKU4")).solve(c, 0.9)
+        assert large.instructions_per_second > 2 * small.instructions_per_second
+
+    def test_replacement_quality_improves_throughput(self):
+        """The Figure 15 experiment: better cache replacement -> fewer
+        misses -> higher IPC -> more throughput."""
+        from dataclasses import replace
+
+        sku = get_sku("SKU2")
+        improved_cpu = replace(
+            sku.cpu, caches=sku.cpu.caches.with_replacement_quality(1.56)
+        )
+        improved_sku = replace(sku, cpu=improved_cpu)
+        c = chars()
+        base = ProjectionEngine(sku).solve(c, 0.95)
+        better = ProjectionEngine(improved_sku).solve(c, 0.95)
+        assert better.misses.l1i_mpki < base.misses.l1i_mpki
+        assert better.ipc_per_physical_core > base.ipc_per_physical_core
+        assert better.instructions_per_second > base.instructions_per_second

@@ -1,0 +1,90 @@
+"""Property-based invariants of the projection engine across SKUs.
+
+Whatever the workload vector, the model must produce physically
+sensible outputs on every modeled machine: valid TMAM fractions,
+bandwidth within the memory system's peak, frequency within the DVFS
+envelope, positive throughput, and power within the designed envelope.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.sku import SKU_REGISTRY, get_sku
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.projection import ProjectionEngine
+
+CHAR_STRATEGY = st.builds(
+    WorkloadCharacteristics,
+    name=st.just("property"),
+    category=st.just("synthetic"),
+    code_footprint_kb=st.floats(1.0, 8000.0),
+    switches_per_kinstr=st.floats(0.0, 3.0),
+    mem_refs_per_kinstr=st.floats(10.0, 600.0),
+    data_reuse_kb=st.floats(0.001, 100_000.0),
+    locality_beta=st.floats(0.1, 1.5),
+    memory_level_parallelism=st.floats(1.0, 64.0),
+    branch_per_kinstr=st.floats(20.0, 400.0),
+    branch_mispredict_rate=st.floats(0.0, 0.2),
+    dependency_cpk=st.floats(0.0, 800.0),
+    vector_intensity=st.floats(0.0, 1.0),
+    kernel_frac=st.floats(0.0, 0.6),
+    instructions_per_request=st.floats(1e4, 1e10),
+)
+
+
+class TestProjectionInvariants:
+    @given(
+        chars=CHAR_STRATEGY,
+        sku_name=st.sampled_from(sorted(SKU_REGISTRY)),
+        util=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_physical_plausibility(self, chars, sku_name, util):
+        sku = get_sku(sku_name)
+        state = ProjectionEngine(sku).solve(chars, cpu_util=util)
+
+        # TMAM is a valid partition of the slots.
+        tmam = state.tmam
+        total = tmam.frontend + tmam.bad_speculation + tmam.backend + tmam.retiring
+        assert total == pytest.approx(1.0)
+        for fraction in (tmam.frontend, tmam.bad_speculation, tmam.backend,
+                         tmam.retiring):
+            assert 0.0 <= fraction <= 1.0
+
+        # IPC bounded by issue width x SMT boost.
+        assert 0.0 < state.ipc_per_physical_core <= sku.cpu.pipeline_width * 1.5
+
+        # Frequency within the DVFS envelope.
+        assert sku.cpu.base_freq_ghz <= state.effective_freq_ghz
+        assert state.effective_freq_ghz <= sku.cpu.max_freq_ghz
+
+        # Bandwidth within the memory system's ceiling.
+        assert 0.0 <= state.memory_bandwidth_gbps <= sku.memory.peak_bw_gbps
+        assert 0.0 <= state.memory_bandwidth_fraction <= 1.0
+
+        # Power within the designed envelope.
+        assert 0.0 < state.power.total <= 1.0 + 1e-9
+        assert 0.0 < state.power_watts <= sku.designed_power_w * (1 + 1e-9)
+
+        # Throughput positive and consistent with the request size.
+        assert state.instructions_per_second > 0
+        assert state.requests_per_second == pytest.approx(
+            state.instructions_per_second / chars.instructions_per_request
+        )
+
+    @given(chars=CHAR_STRATEGY)
+    @settings(max_examples=40, deadline=None)
+    def test_utilization_monotone(self, chars):
+        engine = ProjectionEngine(get_sku("SKU2"))
+        low = engine.solve(chars, cpu_util=0.3)
+        high = engine.solve(chars, cpu_util=0.9)
+        assert high.instructions_per_second >= low.instructions_per_second
+
+    @given(chars=CHAR_STRATEGY, util=st.floats(0.1, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, chars, util):
+        engine = ProjectionEngine(get_sku("SKU3"))
+        a = engine.solve(chars, cpu_util=util)
+        b = engine.solve(chars, cpu_util=util)
+        assert a.instructions_per_second == b.instructions_per_second
+        assert a.power_watts == b.power_watts

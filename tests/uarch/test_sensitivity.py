@@ -1,0 +1,74 @@
+"""Tests for the vendor-guidance sensitivity sweep."""
+
+import pytest
+
+from repro.hw.sku import get_sku
+from repro.uarch.sensitivity import (
+    STANDARD_KNOBS,
+    sensitivity_sweep,
+    top_knob_per_workload,
+)
+from repro.workloads.profiles import BENCHMARK_PROFILES
+from repro.workloads.targets import BENCHMARK_TARGETS
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    workloads = {
+        name: BENCHMARK_PROFILES[name]
+        for name in ("mediawiki", "sparkbench", "taobench", "feedsim")
+    }
+    utils = {
+        name: BENCHMARK_TARGETS[name].cpu_util for name in workloads
+    }
+    return sensitivity_sweep(get_sku("SKU2"), workloads, utils, factor=1.25)
+
+
+class TestSweep:
+    def test_covers_all_knob_workload_pairs(self, sweep):
+        assert len(sweep) == 4 * len(STANDARD_KNOBS)
+
+    def test_improvements_never_hurt(self, sweep):
+        for result in sweep:
+            assert result.relative_gain > -0.01, (result.workload, result.knob)
+
+    def test_frequency_helps_everyone(self, sweep):
+        for result in sweep:
+            if result.knob == "frequency":
+                assert result.relative_gain > 0.05
+
+    def test_caching_wants_memory_latency_most(self, sweep):
+        """TAO-style caching chases pointers with low memory-level
+        parallelism, so latency is its binding knob — unlike Spark's
+        prefetch-friendly streaming."""
+        gains = {
+            (r.workload, r.knob): r.relative_gain for r in sweep
+        }
+        assert gains[("taobench", "memory_latency")] > 3 * gains[
+            ("sparkbench", "memory_latency")
+        ]
+        # And it dwarfs taobench's own bandwidth sensitivity.
+        assert gains[("taobench", "memory_latency")] > 3 * gains[
+            ("taobench", "memory_bandwidth")
+        ]
+
+    def test_spark_wants_bandwidth_more_than_web_does(self, sweep):
+        gains = {(r.workload, r.knob): r.relative_gain for r in sweep}
+        assert gains[("sparkbench", "memory_bandwidth")] >= gains[
+            ("mediawiki", "memory_bandwidth")
+        ] - 0.005
+
+    def test_replacement_quality_echoes_fig15(self, sweep):
+        """Better replacement helps web by small single digits — the
+        Figure 15 magnitude."""
+        gains = {(r.workload, r.knob): r.relative_gain for r in sweep}
+        assert 0.005 < gains[("mediawiki", "replacement_quality")] < 0.08
+
+    def test_top_knob_table(self, sweep):
+        table = top_knob_per_workload(sweep)
+        assert set(table) == {"mediawiki", "sparkbench", "taobench", "feedsim"}
+        assert all(knob in STANDARD_KNOBS for knob in table.values())
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            sensitivity_sweep(get_sku("SKU2"), {}, {}, factor=1.0)

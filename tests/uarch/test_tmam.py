@@ -1,0 +1,102 @@
+"""Tests for TMAM slot accounting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.cache_model import MissProfile
+from repro.uarch.characteristics import WorkloadCharacteristics
+from repro.uarch.tmam import TmamProfile, tmam_from_misses, UOPS_PER_INSTRUCTION
+
+
+def chars(**overrides):
+    params = dict(
+        name="w", category="web", code_footprint_kb=500.0,
+        branch_per_kinstr=170.0, branch_mispredict_rate=0.03,
+        dependency_cpk=40.0,
+    )
+    params.update(overrides)
+    return WorkloadCharacteristics(**params)
+
+
+def misses(l1i=30.0, l1d=80.0, l2=10.0, llc=5.0):
+    return MissProfile(l1i_mpki=l1i, l1d_mpki=l1d, l2_mpki=l2, llc_mpki=llc)
+
+
+class TestTmamProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            TmamProfile(
+                frontend=0.4, bad_speculation=0.1, backend=0.1, retiring=0.1,
+                cycles_per_kinstr=1000.0,
+            )
+
+    def test_ipc_per_thread(self):
+        p = TmamProfile(0.25, 0.25, 0.25, 0.25, cycles_per_kinstr=800.0)
+        assert p.ipc_per_thread == pytest.approx(1.25)
+
+
+class TestTmamFromMisses:
+    def test_fractions_sum_to_one(self):
+        p = tmam_from_misses(chars(), misses(), 4, memory_cost_cycles=20.0)
+        total = p.frontend + p.bad_speculation + p.backend + p.retiring
+        assert total == pytest.approx(1.0)
+
+    def test_wider_pipeline_raises_ipc_ceiling(self):
+        narrow = tmam_from_misses(chars(), misses(), 4, 20.0)
+        wide = tmam_from_misses(chars(), misses(), 6, 20.0)
+        assert wide.ipc_per_thread > narrow.ipc_per_thread
+
+    def test_icache_misses_raise_frontend_share(self):
+        clean = tmam_from_misses(chars(), misses(l1i=2.0), 4, 20.0)
+        dirty = tmam_from_misses(chars(), misses(l1i=60.0), 4, 20.0)
+        assert dirty.frontend > clean.frontend
+        assert dirty.ipc_per_thread < clean.ipc_per_thread
+
+    def test_memory_cost_raises_backend_share(self):
+        fast = tmam_from_misses(chars(), misses(), 4, memory_cost_cycles=10.0)
+        slow = tmam_from_misses(chars(), misses(), 4, memory_cost_cycles=100.0)
+        assert slow.backend > fast.backend
+
+    def test_efficiency_shrinks_stalls(self):
+        old = tmam_from_misses(chars(), misses(), 4, 20.0, uarch_efficiency=1.0)
+        new = tmam_from_misses(chars(), misses(), 4, 20.0, uarch_efficiency=1.2)
+        assert new.ipc_per_thread > old.ipc_per_thread
+
+    def test_frontend_pathology_scales_with_footprint(self):
+        """SKU-B's fetch pathology must hit big-code workloads hardest."""
+        small_code = chars(code_footprint_kb=60.0)
+        big_code = chars(code_footprint_kb=2000.0)
+        m = misses(l1i=30.0)
+
+        def slowdown(c):
+            healthy = tmam_from_misses(c, m, 4, 20.0, frontend_multiplier=1.0)
+            sick = tmam_from_misses(c, m, 4, 20.0, frontend_multiplier=10.0)
+            return healthy.ipc_per_thread / sick.ipc_per_thread
+
+        assert slowdown(big_code) > slowdown(small_code) * 1.5
+
+    def test_retiring_ipc_identity(self):
+        """IPC = width x retiring / uops-per-instruction."""
+        p = tmam_from_misses(chars(), misses(), 4, 20.0)
+        implied = 4 * p.retiring / UOPS_PER_INSTRUCTION
+        assert p.ipc_per_thread == pytest.approx(implied, rel=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            tmam_from_misses(chars(), misses(), 0, 20.0)
+        with pytest.raises(ValueError):
+            tmam_from_misses(chars(), misses(), 4, 20.0, uarch_efficiency=0.0)
+
+    @given(
+        l1i=st.floats(0.0, 80.0),
+        llc=st.floats(0.0, 40.0),
+        cost=st.floats(5.0, 150.0),
+        width=st.integers(2, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_profile_always_valid(self, l1i, llc, cost, width):
+        m = misses(l1i=l1i, l1d=max(llc, 60.0), l2=max(llc, 8.0), llc=llc)
+        p = tmam_from_misses(chars(), m, width, cost)
+        for frac in (p.frontend, p.bad_speculation, p.backend, p.retiring):
+            assert 0.0 < frac < 1.0 or frac == pytest.approx(0.0)
+        assert p.ipc_per_thread > 0

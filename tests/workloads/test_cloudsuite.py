@@ -1,0 +1,104 @@
+"""Tests for the CloudSuite comparator models (Section 4.6)."""
+
+import pytest
+
+from repro.workloads.base import RunConfig
+from repro.workloads.cloudsuite import (
+    ALS_PARTITIONS,
+    CloudSuiteDataCaching,
+    CloudSuiteInMemoryAnalytics,
+    CloudSuiteWebServing,
+    run_mini_als,
+)
+
+
+class TestDataCaching:
+    def test_throughput_saturates_while_cpu_climbs(self):
+        """Figure 13a: adding client threads mostly adds spin."""
+        quick = lambda t: CloudSuiteDataCaching(client_threads_per_core=t).run(
+            RunConfig(sku_name="SKU-A", measure_seconds=0.5)
+        )
+        low = quick(0.3)
+        high = quick(3.0)
+        assert high.cpu_util > 2.0 * low.cpu_util
+        assert high.throughput_rps < 1.6 * low.throughput_rps
+
+    def test_176_core_sku_degrades_at_high_threads(self):
+        """Figure 13a: on SKU4, more threads *reduce* throughput."""
+        quick = lambda t: CloudSuiteDataCaching(client_threads_per_core=t).run(
+            RunConfig(sku_name="SKU4", measure_seconds=0.5)
+        )
+        moderate = quick(0.5)
+        oversubscribed = quick(6.0)
+        assert oversubscribed.throughput_rps < moderate.throughput_rps
+
+    def test_instance_cap(self):
+        result = CloudSuiteDataCaching().run(
+            RunConfig(sku_name="SKU2", measure_seconds=0.4)
+        )
+        assert result.extra["instances"] == 5  # segfaults beyond five
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudSuiteDataCaching(client_threads_per_core=0)
+
+
+class TestWebServing:
+    def test_goodput_flattens_past_db_capacity(self):
+        quick = lambda n: CloudSuiteWebServing(load_scale_factor=n).run(
+            RunConfig(sku_name="SKU4", measure_seconds=2.0)
+        )
+        at_100 = quick(100)
+        at_300 = quick(300)
+        # Offered tripled; goodput must not even double.
+        assert at_300.throughput_rps < 2.0 * at_100.throughput_rps
+        # While CPU keeps climbing.
+        assert at_300.cpu_util > 1.5 * at_100.cpu_util
+
+    def test_errors_appear_under_overload(self):
+        overloaded = CloudSuiteWebServing(load_scale_factor=300).run(
+            RunConfig(sku_name="SKU4", measure_seconds=2.5)
+        )
+        assert overloaded.extra["errors_per_second"] > 0
+
+    def test_no_errors_at_light_load(self):
+        light = CloudSuiteWebServing(load_scale_factor=40).run(
+            RunConfig(sku_name="SKU4", measure_seconds=2.0)
+        )
+        assert light.extra["errors_per_second"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudSuiteWebServing(load_scale_factor=0)
+
+
+class TestInMemoryAnalytics:
+    def test_cpu_pinned_low_on_many_core(self):
+        """Figure 13c: ~20% utilization on the 176-core SKU."""
+        result = CloudSuiteInMemoryAnalytics().run(RunConfig(sku_name="SKU4"))
+        assert result.cpu_util < 0.30
+
+    def test_partition_bound_parallelism(self):
+        result = CloudSuiteInMemoryAnalytics().run(RunConfig(sku_name="SKU4"))
+        assert result.scaling_efficiency == pytest.approx(
+            ALS_PARTITIONS / 176, rel=0.01
+        )
+
+    def test_timeline_produced(self):
+        workload = CloudSuiteInMemoryAnalytics()
+        timeline = workload.utilization_timeline(RunConfig(sku_name="SKU4"))
+        assert len(timeline) > 10
+        times = [t for t, _ in timeline]
+        assert times == sorted(times)
+
+
+class TestMiniAls:
+    def test_als_converges(self):
+        result = run_mini_als(iterations=4)
+        assert result.improved
+        assert result.rmse_end < 0.5 * result.rmse_start
+
+    def test_als_deterministic(self):
+        a = run_mini_als(seed=3)
+        b = run_mini_als(seed=3)
+        assert a.rmse_end == b.rmse_end

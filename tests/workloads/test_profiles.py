@@ -1,0 +1,110 @@
+"""Tests for calibrated workload profiles (Table 1 consistency)."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    BENCHMARK_PROFILES,
+    BENCHMARK_TO_PRODUCTION,
+    PRODUCTION_PROFILES,
+    SPEC2017_PROFILES,
+    get_profile,
+)
+from repro.workloads.targets import TABLE1_STRUCTURE
+
+
+class TestRegistries:
+    def test_all_benchmarks_present(self):
+        assert set(BENCHMARK_PROFILES) == {
+            "taobench", "feedsim", "djangobench", "mediawiki",
+            "sparkbench", "videotranscode",
+        }
+
+    def test_each_benchmark_has_production_twin(self):
+        for bench, prod in BENCHMARK_TO_PRODUCTION.items():
+            assert bench in BENCHMARK_PROFILES
+            assert prod in PRODUCTION_PROFILES
+
+    def test_spec2017_covers_ten_components(self):
+        assert len(SPEC2017_PROFILES) == 10
+
+    def test_get_profile_lookup(self):
+        assert get_profile("taobench").name == "taobench"
+        assert get_profile("cache-prod").name == "cache-prod"
+        assert get_profile("505.mcf").name == "505.mcf"
+        with pytest.raises(KeyError):
+            get_profile("nope")
+
+
+class TestTable1Consistency:
+    """Workload structure must match Table 1's orders of magnitude."""
+
+    @pytest.mark.parametrize("category", list(TABLE1_STRUCTURE))
+    def test_thread_core_ratio(self, category):
+        spec = TABLE1_STRUCTURE[category]
+        for bench in spec["benchmarks"]:
+            chars = BENCHMARK_PROFILES[bench]
+            expected = spec["thread_core_ratio"]
+            assert expected / 10 <= chars.thread_core_ratio <= expected * 10
+
+    @pytest.mark.parametrize("category", list(TABLE1_STRUCTURE))
+    def test_rpc_fanout(self, category):
+        spec = TABLE1_STRUCTURE[category]
+        for bench in spec["benchmarks"]:
+            chars = BENCHMARK_PROFILES[bench]
+            expected = spec["rpc_fanout"]
+            if expected == 0:
+                assert chars.rpc_fanout == 0
+            else:
+                assert expected / 10 <= chars.rpc_fanout <= expected * 10
+
+    def test_caching_requests_are_tiny_web_requests_are_huge(self):
+        tao = BENCHMARK_PROFILES["taobench"].instructions_per_request
+        web = BENCHMARK_PROFILES["mediawiki"].instructions_per_request
+        assert web / tao > 1000
+
+    def test_video_has_no_fanout(self):
+        assert BENCHMARK_PROFILES["videotranscode"].rpc_fanout == 0
+
+
+class TestFidelityShape:
+    """Paper-reported qualitative relationships between profiles."""
+
+    def test_web_has_biggest_code_footprints(self):
+        web = min(
+            BENCHMARK_PROFILES["mediawiki"].code_footprint_kb,
+            BENCHMARK_PROFILES["djangobench"].code_footprint_kb,
+        )
+        others = max(
+            BENCHMARK_PROFILES["feedsim"].code_footprint_kb,
+            BENCHMARK_PROFILES["sparkbench"].code_footprint_kb,
+        )
+        assert web > others
+
+    def test_caching_has_highest_switch_rate(self):
+        tao = BENCHMARK_PROFILES["taobench"].switches_per_kinstr
+        for name, chars in BENCHMARK_PROFILES.items():
+            if name != "taobench":
+                assert tao > chars.switches_per_kinstr
+
+    def test_caching_has_highest_kernel_share(self):
+        tao = BENCHMARK_PROFILES["taobench"].kernel_frac
+        assert tao > 0.25
+        assert BENCHMARK_PROFILES["videotranscode"].kernel_frac < 0.1
+
+    def test_spec_kernel_share_negligible(self):
+        for chars in SPEC2017_PROFILES.values():
+            assert chars.kernel_frac < 0.02
+
+    def test_taobench_tax_lighter_on_compression_than_production(self):
+        """The Figure 12 finding the paper flags as future work."""
+        tao = BENCHMARK_PROFILES["taobench"].tax_profile
+        prod = PRODUCTION_PROFILES["cache-prod"].tax_profile
+        assert tao.share("compression") < 0.5 * prod.share("compression")
+        assert tao.share("serialization") < 0.5 * prod.share("serialization")
+
+    def test_tax_fractions_match_accelerometer_range(self):
+        """Meta reports 18-82% tax depending on the application."""
+        for name, chars in BENCHMARK_PROFILES.items():
+            if name == "videotranscode":
+                continue  # pure-compute media has no modeled tax
+            assert 0.18 <= chars.tax_profile.tax_fraction <= 0.90

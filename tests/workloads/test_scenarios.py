@@ -1,0 +1,55 @@
+"""Tests for the region-failover spike scenario."""
+
+import pytest
+
+from repro.workloads.base import RunConfig
+from repro.workloads.mediawiki import MediaWiki
+from repro.workloads.scenarios import run_failover_spike
+from repro.workloads.taobench import TaoBench
+
+
+@pytest.fixture(scope="module")
+def tao_outcome():
+    return run_failover_spike(
+        TaoBench(),
+        RunConfig(sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.8),
+        regions=3,
+    )
+
+
+class TestFailoverSpike:
+    def test_spike_multiplier(self, tao_outcome):
+        assert tao_outcome.spike_multiplier == pytest.approx(1.5)
+
+    def test_spike_raises_power(self, tao_outcome):
+        assert tao_outcome.spiked.power_watts > tao_outcome.normal.power_watts
+        assert tao_outcome.spiked.cpu_util > tao_outcome.normal.cpu_util
+
+    def test_spike_power_within_budget(self, tao_outcome):
+        """The Section 2.3 design point: budgeted power covers the
+        failover spike — that is what it is budgeted FOR."""
+        assert tao_outcome.within_power_budget
+        assert tao_outcome.power_headroom_w > 0
+
+    def test_latency_degrades_under_spike(self, tao_outcome):
+        assert tao_outcome.latency_inflation > 0.0
+
+    def test_gain_limited_by_saturation(self, tao_outcome):
+        """A +50% spike cannot be served by a server already at ~90%
+        utilization: throughput moves far less than the spike — and can
+        even dip slightly as SMT interference and scheduler overhead
+        bite at full occupancy (overload degradation)."""
+        assert -0.15 < tao_outcome.throughput_gain < 0.15
+
+    def test_saturated_web_gains_nothing(self):
+        """MediaWiki already runs saturated: the spike adds queueing,
+        not throughput."""
+        outcome = run_failover_spike(
+            MediaWiki(),
+            RunConfig(sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.8),
+        )
+        assert outcome.throughput_gain < 0.10
+
+    def test_regions_validation(self):
+        with pytest.raises(ValueError):
+            run_failover_spike(TaoBench(), regions=1)

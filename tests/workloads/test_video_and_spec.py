@@ -1,0 +1,88 @@
+"""Tests for VideoTranscodeBench and the SPEC comparator suites."""
+
+import pytest
+
+from repro.workloads.base import RunConfig
+from repro.workloads.spec import (
+    SPEC2006_PROFILES,
+    get_spec_benchmark,
+    spec2006_suite,
+    spec2017_suite,
+)
+from repro.workloads.videotranscode import QUALITY_PRESETS, VideoTranscodeBench
+
+
+class TestVideoTranscode:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return VideoTranscodeBench().run(
+            RunConfig(sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.8)
+        )
+
+    def test_embarrassingly_parallel_saturates(self, result):
+        """Section 3.2: pushes CPU utilization above 95%."""
+        assert result.cpu_util > 0.93
+
+    def test_frames_encoded(self, result):
+        assert result.extra["frames_encoded"] > 100
+
+    def test_quality_presets_change_throughput(self):
+        quick = RunConfig(sku_name="SKU2", warmup_seconds=0.2, measure_seconds=0.6)
+        fast = VideoTranscodeBench(quality=1).run(quick)
+        slow = VideoTranscodeBench(quality=3).run(quick)
+        assert fast.throughput_rps > 1.5 * slow.throughput_rps
+
+    def test_quality_presets_change_power_profile(self):
+        """Figure 10's VideoBench1-3 power differences come from
+        vector intensity."""
+        quick = RunConfig(sku_name="SKU2", warmup_seconds=0.2, measure_seconds=0.6)
+        fast = VideoTranscodeBench(quality=1).run(quick)
+        slow = VideoTranscodeBench(quality=3).run(quick)
+        assert slow.steady.effective_freq_ghz < fast.steady.effective_freq_ghz
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            VideoTranscodeBench(quality=9)
+
+    def test_presets_cover_paper_settings(self):
+        assert set(QUALITY_PRESETS) == {1, 2, 3}
+
+
+class TestSpecSuites:
+    def test_baseline_score_is_one(self):
+        assert spec2017_suite().score("SKU1") == pytest.approx(1.0)
+        assert spec2006_suite().score("SKU1") == pytest.approx(1.0)
+
+    def test_spec_overestimates_many_core(self):
+        """Figure 2's core claim: SPEC scales superlinearly vs
+        production on the 176-core SKU."""
+        s17 = spec2017_suite().score("SKU4")
+        core_ratio = 176 / 36
+        assert s17 > core_ratio  # per-core gain > 1 for SPEC
+
+    def test_spec2017_scales_above_spec2006(self):
+        assert spec2017_suite().score("SKU4") > spec2006_suite().score("SKU4")
+
+    def test_spec_benchmark_run_interface(self):
+        bench = get_spec_benchmark("505.mcf")
+        result = bench.run(RunConfig(sku_name="SKU2"))
+        assert result.cpu_util == 1.0
+        assert result.scaling_efficiency == 1.0
+        assert result.throughput_rps > 0
+
+    def test_unknown_spec_benchmark(self):
+        with pytest.raises(KeyError):
+            get_spec_benchmark("999.nope")
+
+    def test_spec2006_subset_size(self):
+        assert len(SPEC2006_PROFILES) == 10
+
+    def test_mcf_is_memory_bound(self):
+        from repro.hw.sku import get_sku
+        state = get_spec_benchmark("505.mcf").steady_state(get_sku("SKU2"))
+        assert state.tmam.backend > 0.45
+        assert state.memory_bandwidth_gbps > 50
+
+    def test_suite_average_power(self):
+        watts = spec2017_suite().average_power_watts("SKU2")
+        assert 200 < watts < 400  # sensible fraction of the 400W envelope

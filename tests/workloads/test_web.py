@@ -1,0 +1,89 @@
+"""Tests for the two web benchmarks (MediaWiki, DjangoBench)."""
+
+import pytest
+
+from repro.workloads.base import RunConfig
+from repro.workloads.djangobench import DjangoBench
+from repro.workloads.mediawiki import MediaWiki
+
+
+@pytest.fixture(scope="module")
+def mw_result():
+    return MediaWiki().run(
+        RunConfig(sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.8)
+    )
+
+
+@pytest.fixture(scope="module")
+def django_result():
+    return DjangoBench().run(
+        RunConfig(sku_name="SKU2", warmup_seconds=0.3, measure_seconds=0.8)
+    )
+
+
+class TestMediaWiki:
+    def test_runs_saturated(self, mw_result):
+        """Section 3.2: pushes CPU utilization above 90%."""
+        assert mw_result.cpu_util > 0.90
+
+    def test_throughput_order_of_magnitude(self, mw_result):
+        """Table 1: per-server RPS N(100-1K) for web."""
+        assert 100 < mw_result.throughput_rps < 3000
+
+    def test_page_cache_gets_hits(self, mw_result):
+        assert mw_result.extra["page_cache_hit_rate"] > 0.3
+
+    def test_latency_distribution_reported(self, mw_result):
+        assert mw_result.latency["count"] > 50
+        assert mw_result.latency["p95"] >= mw_result.latency["p50"]
+
+    def test_big_code_footprint_shows_in_l1i(self, mw_result):
+        """Figure 8: web workloads have high L1I MPKI."""
+        assert mw_result.steady.misses.l1i_mpki > 20
+
+
+class TestDjangoBench:
+    def test_runs_saturated(self, django_result):
+        assert django_result.cpu_util > 0.88
+
+    def test_worker_per_core_model(self, django_result):
+        assert django_result.extra["worker_processes"] == 52
+
+    def test_throughput_positive(self, django_result):
+        assert 100 < django_result.throughput_rps < 3000
+
+    def test_object_cache_hits(self, django_result):
+        assert django_result.extra["object_cache_hit_rate"] > 0.3
+
+
+class TestWebScaling:
+    def test_mediawiki_scales_sublinearly_with_cores(self):
+        """The serialized instance slice caps many-core gains
+        (Figure 2: production gains < core-count ratio)."""
+        quick = lambda sku: RunConfig(
+            sku_name=sku, warmup_seconds=0.3, measure_seconds=0.8
+        )
+        small = MediaWiki().run(quick("SKU1"))
+        large = MediaWiki().run(quick("SKU4"))
+        ratio = large.throughput_rps / small.throughput_rps
+        core_ratio = 176 / 36
+        assert 2.0 < ratio < core_ratio * 1.45
+
+
+class TestPerEndpointLatency:
+    def test_mediawiki_reports_endpoints(self, mw_result):
+        for endpoint in ("page", "talk", "login", "edit"):
+            assert f"p95_{endpoint}_seconds" in mw_result.extra
+
+    def test_edit_slower_than_login(self, mw_result):
+        """The edit endpoint does 2.2x the work plus 3 DB trips."""
+        assert (
+            mw_result.extra["p95_edit_seconds"]
+            > mw_result.extra["p95_login_seconds"]
+        )
+
+    def test_django_seen_is_cheapest(self, django_result):
+        """The 'seen' endpoint is a 0.3x-weight write-ack."""
+        seen = django_result.extra["p95_seen_seconds"]
+        feed = django_result.extra["p95_feed_seconds"]
+        assert seen < feed

@@ -1,0 +1,35 @@
+"""Calibration tool: Figure 14 Perf/Watt across SKU4 / SKU-A / SKU-B.
+
+Prints model Perf/Watt (normalized to SKU1) against the paper values,
+for the DCPerf benchmarks and the SPEC 2017 suite.
+"""
+import math
+
+from repro.core.suite import DCPerfSuite
+from repro.workloads.spec import spec2017_suite
+from repro.workloads.targets import FIG14_PERF_PER_WATT
+
+
+def main() -> None:
+    suite = DCPerfSuite(measure_seconds=1.0)
+    base = suite.run("SKU1").perf_per_watt
+    s17 = spec2017_suite()
+    spec_base_ppw = 1.0 / s17.average_power_watts("SKU1")
+    for sku in ("SKU4", "SKU-A", "SKU-B"):
+        rep = suite.run(sku)
+        norm = {k: rep.perf_per_watt[k] / base[k] for k in base}
+        vals = [v for v in norm.values() if v > 0]
+        geo = math.exp(sum(math.log(v) for v in vals) / len(vals))
+        spec_ppw = s17.score(sku) / (
+            s17.average_power_watts(sku) * spec_base_ppw
+        )
+        paper = FIG14_PERF_PER_WATT[sku]
+        print(sku)
+        for name in ("taobench", "feedsim", "djangobench", "mediawiki", "sparkbench"):
+            print(f"  {name:<14} model {norm[name]:5.2f}   paper {paper[name]:4.1f}")
+        print(f"  {'dcperf':<14} model {geo:5.2f}   paper {paper['dcperf']:4.1f}")
+        print(f"  {'spec2017':<14} model {spec_ppw:5.2f}   paper {paper['spec2017']:4.1f}")
+
+
+if __name__ == "__main__":
+    main()

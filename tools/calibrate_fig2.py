@@ -1,0 +1,62 @@
+"""Calibration tool: evaluate Figure 2 suite ratios for current SKU params.
+
+Run after changing SKU parameters in repro.hw.sku to see how the four
+suites (production, DCPerf, SPEC 2006, SPEC 2017) scale across SKUs
+relative to SKU1, compared to the paper's published ratios.
+"""
+import time
+
+from repro.core.suite import DCPerfSuite
+from repro.workloads.spec import spec2006_suite, spec2017_suite
+from repro.workloads.targets import FIG2_SKU_PERFORMANCE
+
+SKUS = ["SKU1", "SKU2", "SKU3", "SKU4"]
+
+
+def main() -> None:
+    t0 = time.time()
+    s17 = spec2017_suite()
+    s06 = spec2006_suite()
+    spec17 = [s17.score(sku) for sku in SKUS]
+    spec06 = [s06.score(sku) for sku in SKUS]
+
+    bench_suite = DCPerfSuite(measure_seconds=1.0)
+    dcperf, prod_w = [], []
+    prod_suite = DCPerfSuite(variant=":prod", measure_seconds=1.0)
+    for sku in SKUS:
+        rep = bench_suite.run(sku)
+        dcperf.append(rep.overall_score)
+        prep = prod_suite.run(sku)
+        prod_w.append(prod_suite.production_score(prep))
+
+    print(f"evaluated in {time.time()-t0:.1f}s")
+    rows = {
+        "production": prod_w,
+        "dcperf": dcperf,
+        "spec2006": spec06,
+        "spec2017": spec17,
+    }
+    print(f"{'suite':<12}{'SKU1':>8}{'SKU2':>8}{'SKU3':>8}{'SKU4':>8}   paper")
+    for name, vals in rows.items():
+        paper = FIG2_SKU_PERFORMANCE[name]
+        print(
+            f"{name:<12}" + "".join(f"{v:8.2f}" for v in vals)
+            + "   " + " ".join(f"{p:.2f}" for p in paper)
+        )
+        percore = [v / c for v, c in zip(vals, [1.0, 52/36, 72/36, 176/36])]
+        print(f"{'  per-core':<12}" + "".join(f"{v:8.3f}" for v in percore))
+
+
+if __name__ == "__main__":
+    main()
+
+
+def per_benchmark() -> None:
+    """Print per-benchmark SKU4/SKU1 ratios for both variants."""
+    for variant in ("", ":prod"):
+        suite = DCPerfSuite(variant=variant, measure_seconds=1.0)
+        r1 = suite.run("SKU1")
+        r4 = suite.run("SKU4")
+        print(f"variant={variant or 'bench'}")
+        for name in r1.scores:
+            print(f"  {name:<16} SKU4/SKU1 = {r4.scores[name]:.2f}")
