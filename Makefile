@@ -1,0 +1,21 @@
+PYTHON ?= python
+
+.PHONY: test verify bench report clean-cache
+
+# Fast path: just the unit suite.
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Tier-1 gate: unit suite + a 2-point parallel smoke sweep, with the
+# run cache isolated in a temp directory (see tools/ci.sh).
+verify:
+	sh tools/ci.sh
+
+bench:
+	PYTHONPATH=src $(PYTHON) tools/bench_sweep.py
+
+report:
+	PYTHONPATH=src $(PYTHON) tools/generate_report.py
+
+clean-cache:
+	PYTHONPATH=src $(PYTHON) -m repro.core.cli cache clear

@@ -46,7 +46,12 @@ def fidelity_states():
 
 @pytest.fixture(scope="session")
 def suite_scores():
-    """Figure 2 inputs: suite scores per SKU for all four suites."""
+    """Figure 2 inputs: suite scores per SKU for all four suites.
+
+    The two DCPerf sweeps go through the shared executor, so repeated
+    harness sessions on one machine reuse the persistent run cache
+    instead of recomputing every (benchmark, SKU) point.
+    """
     s17, s06 = spec2017_suite(), spec2006_suite()
     data = {
         "spec2017": [s17.score(sku) for sku in X86_SKUS],
@@ -54,12 +59,12 @@ def suite_scores():
     }
     bench = DCPerfSuite(measure_seconds=1.0)
     prod = DCPerfSuite(variant=":prod", measure_seconds=1.0)
-    dcperf, production = [], []
-    for sku in X86_SKUS:
-        dcperf.append(bench.run(sku).overall_score)
-        production.append(prod.production_score(prod.run(sku)))
-    data["dcperf"] = dcperf
-    data["production"] = production
+    bench_reports = bench.run_many(X86_SKUS)
+    prod_reports = prod.run_many(X86_SKUS)
+    data["dcperf"] = [bench_reports[sku].overall_score for sku in X86_SKUS]
+    data["production"] = [
+        prod.production_score(prod_reports[sku]) for sku in X86_SKUS
+    ]
     return data
 
 

@@ -23,13 +23,13 @@ BENCHES = ["taobench", "feedsim", "djangobench", "mediawiki", "sparkbench"]
 
 def main() -> None:
     suite = DCPerfSuite(measure_seconds=1.0)
-    print("running the suite on the baseline (SKU1)...")
-    baseline = suite.run("SKU1").perf_per_watt
+    print("sweeping the suite over SKU1 + candidates (cached runs reused)...")
+    reports = suite.run_many(["SKU1", *CANDIDATES])
+    baseline = reports["SKU1"].perf_per_watt
 
     table = {}
     for sku in CANDIDATES:
-        print(f"running the suite on {sku}...")
-        report = suite.run(sku)
+        report = reports[sku]
         normalized = {b: report.perf_per_watt[b] / baseline[b] for b in BENCHES}
         normalized["dcperf"] = math.exp(
             sum(math.log(v) for v in normalized.values()) / len(normalized)

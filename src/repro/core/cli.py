@@ -6,6 +6,9 @@ Usage examples::
     dcperf install -b taobench
     dcperf run -b taobench --sku SKU2 --kernel 6.9 --json out.json
     dcperf suite --sku SKU4
+    dcperf suite --skus SKU1,SKU2,SKU3,SKU4 --parallel 4
+    dcperf cache info
+    dcperf cache clear
     dcperf microbench
     dcperf skus
 """
@@ -15,11 +18,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.benchmark import Benchmark
 from repro.core.report import format_table, write_json_report
 from repro.core.suite import DCPerfSuite
+from repro.exec.cache import RunCache, cache_from_env
+from repro.exec.executor import SweepExecutor
 from repro.hw.sku import list_skus
 from repro.workloads.base import RunConfig
 from repro.workloads.registry import dcperf_benchmarks, extension_benchmarks
@@ -93,18 +98,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_executor(args: argparse.Namespace) -> SweepExecutor:
+    if args.no_cache:
+        cache = None
+        use_cache = False
+    elif args.cache_dir:
+        cache = RunCache(args.cache_dir)
+        use_cache = True
+    else:
+        cache = None
+        use_cache = True
+    return SweepExecutor(
+        max_workers=args.parallel, cache=cache, use_cache=use_cache
+    )
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
-    suite = DCPerfSuite(measure_seconds=args.measure_seconds)
-    report = suite.run(args.sku, kernel=args.kernel, seed=args.seed)
-    rows = [
-        [name, f"{report.reports[name].metric_value:.4g}", f"{score:.3f}"]
-        for name, score in report.scores.items()
-    ]
-    print(format_table(["benchmark", "metric", "score vs SKU1"], rows))
-    print(f"\noverall score (geomean): {report.overall_score:.3f}")
+    skus = (
+        [s.strip() for s in args.skus.split(",") if s.strip()]
+        if args.skus
+        else [args.sku]
+    )
+    if not skus:
+        print("no SKUs given", file=sys.stderr)
+        return 2
+    suite = DCPerfSuite(
+        measure_seconds=args.measure_seconds, executor=_suite_executor(args)
+    )
+    reports = suite.run_many(skus, kernel=args.kernel, seed=args.seed)
+    for sku, report in reports.items():
+        if len(reports) > 1:
+            print(f"\n== {sku} ==")
+        rows = [
+            [name, f"{report.reports[name].metric_value:.4g}", f"{score:.3f}"]
+            for name, score in report.scores.items()
+        ]
+        print(format_table(["benchmark", "metric", "score vs SKU1"], rows))
+        print(f"\noverall score (geomean): {report.overall_score:.3f}")
+    stats = suite.executor.last_stats
+    if stats is not None:
+        print(
+            f"\nsweep: {stats.unique_points} unique runs, "
+            f"{stats.cache_hits} cache hits, {stats.executed} executed "
+            f"on {stats.workers} worker(s) in {stats.elapsed_seconds:.1f}s"
+        )
     if args.json:
-        path = write_json_report(report.as_dict(), args.json)
+        payload: Dict[str, object]
+        if len(reports) == 1:
+            payload = next(iter(reports.values())).as_dict()
+        else:
+            payload = {sku: rep.as_dict() for sku, rep in reports.items()}
+        path = write_json_report(payload, args.json)
         print(f"report written to {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = RunCache(args.cache_dir) if args.cache_dir else cache_from_env()
+    if cache is None:
+        cache = RunCache()
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.directory}")
+        return 0
+    info = cache.info()
+    print(f"directory: {info.directory}")
+    print(f"entries:   {info.entries}")
+    print(f"size:      {info.total_bytes / 1024:.1f} KiB")
     return 0
 
 
@@ -148,11 +208,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="run the whole suite and score it")
     p_suite.add_argument("--sku", default="SKU2")
+    p_suite.add_argument(
+        "--skus",
+        help="comma-separated SKU list; one sweep scores them all "
+        "(overrides --sku)",
+    )
     p_suite.add_argument("--kernel", default="6.9", choices=["6.4", "6.9"])
     p_suite.add_argument("--seed", type=int, default=7)
     p_suite.add_argument("--measure-seconds", type=float, default=1.5)
+    p_suite.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (1 = in-process)",
+    )
+    p_suite.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent run cache for this sweep",
+    )
+    p_suite.add_argument(
+        "--cache-dir", help="override the run-cache directory"
+    )
     p_suite.add_argument("--json", help="write the report to this JSON file")
     p_suite.set_defaults(func=_cmd_suite)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent run cache"
+    )
+    p_cache.add_argument(
+        "cache_command", choices=["info", "clear"], help="what to do"
+    )
+    p_cache.add_argument(
+        "--cache-dir", help="override the run-cache directory"
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     sub.add_parser(
         "microbench", help="run the datacenter-tax microbenchmarks"

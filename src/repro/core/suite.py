@@ -5,16 +5,27 @@ normalized to SKU1 and the suite score is the geometric mean (Section
 3.1).  The production score is the power-weighted geomean of the
 production counterparts (Section 4.1: "weighted by each workload's
 power consumption in our fleet").
+
+Execution goes through :class:`repro.exec.executor.SweepExecutor`:
+baseline and target runs are expanded into one deduplicated grid, fan
+out over a process pool when ``max_workers > 1``, and are memoized in
+the persistent run cache — so SKU1 baselines are computed once per
+machine rather than once per script.  Baselines are keyed by the full
+run fingerprint (benchmark, SKU, kernel, seed, measurement window,
+model/code digests), so suites with different ``measure_seconds`` or
+kernels can never cross-contaminate each other's normalization.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.core.benchmark import Benchmark, BenchmarkReport
+from repro.core.benchmark import BenchmarkReport
 from repro.core.scoring import BASELINE_SKU, ScoreBoard
-from repro.workloads.base import RunConfig
+from repro.exec.cache import RunCache
+from repro.exec.executor import SweepExecutor
+from repro.exec.spec import RunPoint, run_fingerprint
 from repro.workloads.registry import dcperf_benchmarks
 
 #: Fleet power weights per workload category (web dominates Meta's
@@ -61,57 +72,89 @@ class DCPerfSuite:
         variant: str = "",
         baseline_sku: str = BASELINE_SKU,
         measure_seconds: float = 1.5,
+        executor: Optional[SweepExecutor] = None,
+        max_workers: int = 1,
+        cache: Optional[RunCache] = None,
     ) -> None:
         self.benchmark_names = benchmark_names or dcperf_benchmarks()
         #: '' for the DCPerf benchmarks, ':prod' for production twins.
         self.variant = variant
         self.scoreboard = ScoreBoard(baseline_sku)
         self.measure_seconds = measure_seconds
-        self._baseline_cache: Dict[str, BenchmarkReport] = {}
+        self.executor = executor or SweepExecutor(
+            max_workers=max_workers, cache=cache
+        )
 
-    def _config(self, sku: str, kernel: str, seed: int) -> RunConfig:
-        return RunConfig(
-            sku_name=sku,
-            kernel_version=kernel,
+    def _point(self, name: str, sku: str, kernel: str, seed: int) -> RunPoint:
+        return RunPoint(
+            benchmark=name,
+            sku=sku,
+            kernel=kernel,
             seed=seed,
+            variant=self.variant,
             measure_seconds=self.measure_seconds,
         )
 
-    def _run_one(self, name: str, config: RunConfig) -> BenchmarkReport:
-        return Benchmark.by_name(name + self.variant).run(config)
+    def _baseline_key(self, name: str, kernel: str, seed: int) -> str:
+        """Scoreboard key for a benchmark's baseline: its fingerprint.
 
-    def _ensure_baselines(self, kernel: str, seed: int) -> None:
-        for name in self.benchmark_names:
-            if not self.scoreboard.has_baseline(name):
-                config = self._config(self.scoreboard.baseline_sku, kernel, seed)
-                report = self._run_one(name, config)
-                self._baseline_cache[name] = report
-                self.scoreboard.register_baseline(name, report.metric_value)
+        Fingerprint keying means a baseline computed under one
+        (kernel, seed, measure_seconds, model version) is never reused
+        for another — each combination earns its own normalization.
+        """
+        point = self._point(name, self.scoreboard.baseline_sku, kernel, seed)
+        return run_fingerprint(point)
+
+    def run_many(
+        self, skus: Sequence[str], kernel: str = "6.9", seed: int = 7
+    ) -> Dict[str, SuiteReport]:
+        """Run and score the suite on several SKUs in one sweep.
+
+        Baseline and per-SKU points are expanded into a single grid so
+        a parallel executor can overlap everything; results come back
+        deterministically in spec order regardless of worker count.
+        """
+        skus = list(skus)
+        names = self.benchmark_names
+        points: List[RunPoint] = [
+            self._point(name, self.scoreboard.baseline_sku, kernel, seed)
+            for name in names
+        ]
+        for sku in skus:
+            points.extend(self._point(name, sku, kernel, seed) for name in names)
+        all_reports = self.executor.run(points)
+
+        stride = len(names)
+        for name, report in zip(names, all_reports[:stride]):
+            key = self._baseline_key(name, kernel, seed)
+            if not self.scoreboard.has_baseline(key):
+                self.scoreboard.register_baseline(key, report.metric_value)
+
+        out: Dict[str, SuiteReport] = {}
+        for index, sku in enumerate(skus):
+            chunk = all_reports[stride * (index + 1) : stride * (index + 2)]
+            reports: Dict[str, BenchmarkReport] = {}
+            scores: Dict[str, float] = {}
+            perf_per_watt: Dict[str, float] = {}
+            for name, report in zip(names, chunk):
+                key = self._baseline_key(name, kernel, seed)
+                report.score = self.scoreboard.score(key, report.metric_value)
+                reports[name] = report
+                scores[name] = report.score
+                perf_per_watt[name] = report.result.perf_per_watt()
+            out[sku] = SuiteReport(
+                sku=sku,
+                kernel=kernel,
+                reports=reports,
+                scores=scores,
+                overall_score=self.scoreboard.suite_score(scores),
+                perf_per_watt=perf_per_watt,
+            )
+        return out
 
     def run(self, sku: str, kernel: str = "6.9", seed: int = 7) -> SuiteReport:
         """Run every benchmark on a SKU and score against the baseline."""
-        self._ensure_baselines(kernel, seed)
-        reports: Dict[str, BenchmarkReport] = {}
-        scores: Dict[str, float] = {}
-        perf_per_watt: Dict[str, float] = {}
-        for name in self.benchmark_names:
-            if sku == self.scoreboard.baseline_sku and name in self._baseline_cache:
-                report = self._baseline_cache[name]
-            else:
-                report = self._run_one(name, self._config(sku, kernel, seed))
-            report.score = self.scoreboard.score(name, report.metric_value)
-            reports[name] = report
-            scores[name] = report.score
-            perf_per_watt[name] = report.result.perf_per_watt()
-        overall = self.scoreboard.suite_score(scores)
-        return SuiteReport(
-            sku=sku,
-            kernel=kernel,
-            reports=reports,
-            scores=scores,
-            overall_score=overall,
-            perf_per_watt=perf_per_watt,
-        )
+        return self.run_many([sku], kernel=kernel, seed=seed)[sku]
 
     def production_score(self, suite_report: SuiteReport) -> float:
         """Power-weighted aggregate (the Figure 2 'Production' method)."""

@@ -1,0 +1,41 @@
+"""Sweep execution subsystem: parallel fan-out plus a persistent cache.
+
+The paper's methodology is one large cross-product sweep — benchmarks
+x SKUs x kernels x ablations — and DCPerf itself parallelizes
+benchmark instances across many-core hosts (Section 2.2).  This
+package makes every sweep in the repo parallel and memoized:
+
+* :class:`~repro.exec.spec.RunPoint` — one immutable point of the
+  sweep grid, content-fingerprinted for caching.
+* :class:`~repro.exec.cache.RunCache` — a persistent JSON store of
+  finished :class:`~repro.core.benchmark.BenchmarkReport`s, keyed by
+  run fingerprint (which covers the model parameters and the package
+  source, so any edit invalidates stale entries).
+* :class:`~repro.exec.executor.SweepExecutor` — expands, deduplicates,
+  fans points out over a process pool, and merges results back in spec
+  order so parallel output is identical to serial.
+"""
+
+from repro.exec.cache import RunCache, cache_from_env, default_cache_dir
+from repro.exec.executor import SweepExecutor, SweepStats, execute_point
+from repro.exec.spec import (
+    RunPoint,
+    code_fingerprint,
+    expand_grid,
+    model_fingerprint,
+    run_fingerprint,
+)
+
+__all__ = [
+    "RunCache",
+    "RunPoint",
+    "SweepExecutor",
+    "SweepStats",
+    "cache_from_env",
+    "code_fingerprint",
+    "default_cache_dir",
+    "execute_point",
+    "expand_grid",
+    "model_fingerprint",
+    "run_fingerprint",
+]

@@ -1,0 +1,162 @@
+"""Persistent run cache: one JSON file per fingerprinted run.
+
+The cache directory defaults to ``~/.cache/dcperf-repro`` and can be
+redirected with ``DCPERF_CACHE_DIR`` (CI points it at a temp dir so
+runs never leak between jobs).  ``DCPERF_CACHE=0`` disables caching
+entirely.  Entries are keyed by
+:func:`repro.exec.spec.run_fingerprint`, which digests the run point,
+the calibrated model parameters, and the package source — so editing
+any of them simply orphans the old entries rather than serving stale
+results.  Writes are atomic (temp file + rename) so concurrent sweeps
+sharing one directory cannot corrupt each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exec.spec import RunPoint
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "DCPERF_CACHE_DIR"
+#: Set to ``0`` to disable the persistent cache entirely.
+CACHE_ENABLE_ENV = "DCPERF_CACHE"
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache directory from the environment."""
+    configured = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "dcperf-repro")
+
+
+def cache_enabled() -> bool:
+    return os.environ.get(CACHE_ENABLE_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def cache_from_env() -> Optional["RunCache"]:
+    """A cache honouring the environment, or ``None`` when disabled."""
+    if not cache_enabled():
+        return None
+    return RunCache()
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Summary of a cache directory's contents."""
+
+    directory: str
+    entries: int
+    total_bytes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "directory": self.directory,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class RunCache:
+    """Filesystem-backed store of finished benchmark run payloads.
+
+    Values are the lossless report dicts produced by
+    :mod:`repro.exec.serialize`; the executor materializes
+    :class:`~repro.core.benchmark.BenchmarkReport` objects from them.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The stored report payload, or ``None`` on miss/corruption."""
+        try:
+            with open(self._path(fingerprint)) as fh:
+                entry = json.load(fh)
+            if entry.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            payload = entry["report"]
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(
+        self,
+        fingerprint: str,
+        point: RunPoint,
+        payload: Dict[str, object],
+    ) -> str:
+        """Atomically persist one run payload; returns the path."""
+        os.makedirs(self.directory, exist_ok=True)
+        entry = {
+            "fingerprint": fingerprint,
+            "point": point.as_dict(),
+            "created_unix": time.time(),
+            "report": payload,
+        }
+        path = self._path(fingerprint)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _entry_paths(self):
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in sorted(names):
+            if name.endswith(".json") and not name.startswith(".tmp-"):
+                yield os.path.join(self.directory, name)
+
+    def info(self) -> CacheInfo:
+        entries = 0
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+        return CacheInfo(
+            directory=self.directory, entries=entries, total_bytes=total
+        )
+
+    def clear(self) -> int:
+        """Delete every cached run; returns the number removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed += 1
+        return removed

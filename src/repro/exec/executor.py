@@ -1,0 +1,169 @@
+"""Parallel, cached execution of sweep grids.
+
+:class:`SweepExecutor` is the one path every sweep in the repo goes
+through — the suite runner, the CLI, the figure harness, and the
+calibration tools.  It guarantees:
+
+* **Determinism** — results are merged back in spec order, and every
+  report (fresh, pooled, or cached) is normalized through the same
+  JSON codec, so ``max_workers=N`` output is identical to
+  ``max_workers=1`` output for the same points.
+* **Deduplication** — a grid that names the same point twice (e.g. the
+  baseline SKU appearing both as baseline and as target) runs it once.
+* **Memoization** — with a cache attached, previously executed points
+  are loaded instead of re-run; fingerprints cover model parameters
+  and package source, so edits invalidate automatically.
+
+``max_workers=1`` executes in-process (no pool, plain stack traces —
+the debuggable path); anything higher fans out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import RunCache, cache_from_env
+from repro.exec.serialize import report_from_dict, report_to_dict
+from repro.exec.spec import RunPoint, run_fingerprint
+
+if TYPE_CHECKING:  # deferred: repro.core's __init__ imports repro.exec
+    from repro.core.benchmark import BenchmarkReport
+
+
+def auto_workers() -> int:
+    """Default worker count: one per CPU, capped to keep startup sane."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+def _run_point_payload(point: RunPoint) -> Dict[str, object]:
+    """Execute one point and return its lossless report payload."""
+    from repro.core.benchmark import Benchmark
+
+    report = Benchmark.by_name(point.workload_name).run(point.run_config())
+    return report_to_dict(report)
+
+
+def _pool_worker(payload: Dict[str, object]) -> Dict[str, object]:
+    """Top-level (picklable) worker: point dict in, report dict out."""
+    return _run_point_payload(RunPoint.from_dict(payload))
+
+
+def execute_point(point: RunPoint) -> BenchmarkReport:
+    """Run one point in-process, normalized through the codec."""
+    return report_from_dict(_run_point_payload(point))
+
+
+@dataclass
+class SweepStats:
+    """Accounting for one :meth:`SweepExecutor.run` call."""
+
+    total_points: int = 0
+    unique_points: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total_points": self.total_points,
+            "unique_points": self.unique_points,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Reports in spec order plus the execution accounting."""
+
+    reports: List[BenchmarkReport]
+    stats: SweepStats
+    fingerprints: List[str] = field(default_factory=list)
+
+
+class SweepExecutor:
+    """Expands, deduplicates, fans out, and merges a sweep grid."""
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[RunCache] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or auto_workers()
+        #: ``None`` disables persistence; by default the environment
+        #: decides (``DCPERF_CACHE``/``DCPERF_CACHE_DIR``).
+        self.cache = cache if cache is not None else (
+            cache_from_env() if use_cache else None
+        )
+        self.last_stats: Optional[SweepStats] = None
+
+    # -- public API -----------------------------------------------------------
+    def run(self, points: Sequence[RunPoint]) -> List[BenchmarkReport]:
+        """Reports for ``points``, in the same order as ``points``."""
+        return self.run_sweep(points).reports
+
+    def run_sweep(self, points: Sequence[RunPoint]) -> SweepResult:
+        started = time.monotonic()
+        points = list(points)
+        fingerprints = [run_fingerprint(p) for p in points]
+
+        payloads: Dict[str, Dict[str, object]] = {}
+        todo: List[Tuple[str, RunPoint]] = []
+        seen = set()
+        for point, fp in zip(points, fingerprints):
+            if fp in seen:
+                continue
+            seen.add(fp)
+            cached = self.cache.get(fp) if self.cache is not None else None
+            if cached is not None:
+                payloads[fp] = cached
+            else:
+                todo.append((fp, point))
+
+        stats = SweepStats(
+            total_points=len(points),
+            unique_points=len(seen),
+            cache_hits=len(seen) - len(todo),
+            executed=len(todo),
+            workers=min(self.max_workers, max(1, len(todo))),
+        )
+
+        if todo:
+            if stats.workers == 1:
+                for fp, point in todo:
+                    payloads[fp] = _run_point_payload(point)
+            else:
+                payloads.update(self._run_pooled(todo, stats.workers))
+            if self.cache is not None:
+                for fp, point in todo:
+                    self.cache.put(fp, point, payloads[fp])
+
+        # Materialize a fresh report per output position: callers
+        # mutate `.score`, so deduplicated positions must not alias.
+        reports = [report_from_dict(payloads[fp]) for fp in fingerprints]
+        stats.elapsed_seconds = time.monotonic() - started
+        self.last_stats = stats
+        return SweepResult(
+            reports=reports, stats=stats, fingerprints=fingerprints
+        )
+
+    # -- internals ------------------------------------------------------------
+    def _run_pooled(
+        self, todo: Sequence[Tuple[str, RunPoint]], workers: int
+    ) -> Dict[str, Dict[str, object]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        args = [point.as_dict() for _, point in todo]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_pool_worker, args))
+        return {fp: payload for (fp, _), payload in zip(todo, results)}

@@ -1,0 +1,144 @@
+"""Full-fidelity JSON codec for benchmark reports.
+
+:meth:`BenchmarkReport.as_dict` is a *presentation* format — it
+flattens the steady state into a summary and drops fields — so the
+cache needs its own lossless encoding.  Python's JSON float handling
+round-trips exactly (``repr`` based), which means a report that goes
+through this codec is numerically identical to the original; the
+executor routes *every* result through it (fresh, pooled, or cached)
+so all three paths produce the same objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.hw.power import PowerBreakdown
+from repro.uarch.cache_model import MissProfile
+from repro.uarch.projection import SteadyState
+from repro.uarch.tmam import TmamProfile
+from repro.workloads.base import WorkloadResult
+
+if TYPE_CHECKING:  # deferred: repro.core's __init__ imports repro.exec
+    from repro.core.benchmark import BenchmarkReport
+
+
+def _steady_to_dict(steady: SteadyState) -> Dict[str, object]:
+    return {
+        "workload": steady.workload,
+        "sku": steady.sku,
+        "cpu_util": steady.cpu_util,
+        "kernel_frac": steady.kernel_frac,
+        "effective_freq_ghz": steady.effective_freq_ghz,
+        "misses": {
+            "l1i_mpki": steady.misses.l1i_mpki,
+            "l1d_mpki": steady.misses.l1d_mpki,
+            "l2_mpki": steady.misses.l2_mpki,
+            "llc_mpki": steady.misses.llc_mpki,
+            "l1i_stall_mpki": steady.misses.l1i_stall_mpki,
+        },
+        "tmam": {
+            "frontend": steady.tmam.frontend,
+            "bad_speculation": steady.tmam.bad_speculation,
+            "backend": steady.tmam.backend,
+            "retiring": steady.tmam.retiring,
+            "cycles_per_kinstr": steady.tmam.cycles_per_kinstr,
+        },
+        "ipc_per_physical_core": steady.ipc_per_physical_core,
+        "instructions_per_second": steady.instructions_per_second,
+        "memory_bandwidth_gbps": steady.memory_bandwidth_gbps,
+        "memory_bandwidth_fraction": steady.memory_bandwidth_fraction,
+        "power": {
+            "core": steady.power.core,
+            "soc": steady.power.soc,
+            "dram": steady.power.dram,
+            "other": steady.power.other,
+        },
+        "power_watts": steady.power_watts,
+        "requests_per_second": steady.requests_per_second,
+    }
+
+
+def _steady_from_dict(payload: Dict[str, object]) -> SteadyState:
+    misses = payload["misses"]
+    tmam = payload["tmam"]
+    power = payload["power"]
+    return SteadyState(
+        workload=payload["workload"],
+        sku=payload["sku"],
+        cpu_util=payload["cpu_util"],
+        kernel_frac=payload["kernel_frac"],
+        effective_freq_ghz=payload["effective_freq_ghz"],
+        misses=MissProfile(**misses),
+        tmam=TmamProfile(**tmam),
+        ipc_per_physical_core=payload["ipc_per_physical_core"],
+        instructions_per_second=payload["instructions_per_second"],
+        memory_bandwidth_gbps=payload["memory_bandwidth_gbps"],
+        memory_bandwidth_fraction=payload["memory_bandwidth_fraction"],
+        power=PowerBreakdown(**power),
+        power_watts=payload["power_watts"],
+        requests_per_second=payload["requests_per_second"],
+    )
+
+
+def result_to_dict(result: WorkloadResult) -> Dict[str, object]:
+    steady: Optional[Dict[str, object]] = None
+    if result.steady is not None:
+        steady = _steady_to_dict(result.steady)
+    return {
+        "workload": result.workload,
+        "sku": result.sku,
+        "kernel": result.kernel,
+        "throughput_rps": result.throughput_rps,
+        "latency": dict(result.latency),
+        "cpu_util": result.cpu_util,
+        "kernel_util": result.kernel_util,
+        "scaling_efficiency": result.scaling_efficiency,
+        "steady": steady,
+        "extra": dict(result.extra),
+        "timeline": [list(point) for point in result.timeline],
+    }
+
+
+def result_from_dict(payload: Dict[str, object]) -> WorkloadResult:
+    steady = payload["steady"]
+    return WorkloadResult(
+        workload=payload["workload"],
+        sku=payload["sku"],
+        kernel=payload["kernel"],
+        throughput_rps=payload["throughput_rps"],
+        latency=dict(payload["latency"]),
+        cpu_util=payload["cpu_util"],
+        kernel_util=payload["kernel_util"],
+        scaling_efficiency=payload["scaling_efficiency"],
+        steady=None if steady is None else _steady_from_dict(steady),
+        extra=dict(payload["extra"]),
+        timeline=[list(point) for point in payload["timeline"]],
+    )
+
+
+def report_to_dict(report: BenchmarkReport) -> Dict[str, object]:
+    """Lossless encoding of one report (unlike ``as_dict``)."""
+    return {
+        "benchmark": report.benchmark,
+        "metric_name": report.metric_name,
+        "metric_value": report.metric_value,
+        "result": result_to_dict(report.result),
+        "system": dict(report.system),
+        "hooks": {name: dict(sec) for name, sec in report.hook_sections.items()},
+        "score": report.score,
+    }
+
+
+def report_from_dict(payload: Dict[str, object]) -> "BenchmarkReport":
+    from repro.core.benchmark import BenchmarkReport
+
+    return BenchmarkReport(
+        benchmark=payload["benchmark"],
+        metric_name=payload["metric_name"],
+        metric_value=payload["metric_value"],
+        result=result_from_dict(payload["result"]),
+        system=dict(payload["system"]),
+        hook_sections={n: dict(s) for n, s in payload["hooks"].items()},
+        score=payload["score"],
+    )

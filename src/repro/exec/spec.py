@@ -1,0 +1,184 @@
+"""Sweep grid specifications and content fingerprints.
+
+A :class:`RunPoint` pins down everything that determines a benchmark
+run's output: the workload (benchmark + variant), the simulated
+machine (SKU, kernel), the load shape, and the measurement window.
+Because runs are deterministic given those inputs, a fingerprint over
+them — plus a digest of the model parameters and the package source —
+is a safe cache key: two equal fingerprints imply byte-identical
+reports, and any edit to the model or the simulator invalidates old
+entries automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, fields
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence
+
+from repro.workloads.base import RunConfig
+
+#: Bump to invalidate every cached run when the cache layout itself
+#: changes (not needed for model/code edits — those are digested).
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class RunPoint:
+    """One point of a sweep grid: a fully specified benchmark run."""
+
+    benchmark: str
+    sku: str = "SKU2"
+    kernel: str = "6.9"
+    seed: int = 7
+    variant: str = ""
+    measure_seconds: float = 1.5
+    warmup_seconds: float = 0.5
+    load_scale: float = 1.0
+    batch: int = 1
+
+    @property
+    def workload_name(self) -> str:
+        """Registry name this point runs (benchmark + variant suffix)."""
+        return f"{self.benchmark}{self.variant}"
+
+    def run_config(self) -> RunConfig:
+        return RunConfig(
+            sku_name=self.sku,
+            kernel_version=self.kernel,
+            seed=self.seed,
+            warmup_seconds=self.warmup_seconds,
+            measure_seconds=self.measure_seconds,
+            load_scale=self.load_scale,
+            batch=self.batch,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunPoint":
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+def expand_grid(
+    benchmarks: Sequence[str],
+    skus: Sequence[str],
+    kernels: Sequence[str] = ("6.9",),
+    seeds: Sequence[int] = (7,),
+    variant: str = "",
+    measure_seconds: float = 1.5,
+    warmup_seconds: float = 0.5,
+) -> List[RunPoint]:
+    """Cross-product of the inputs in deterministic nested order.
+
+    Ordering is (sku, kernel, seed, benchmark) outermost-first, so all
+    of one SKU's points are contiguous — the natural shape for suite
+    scoring, which groups reports per SKU.
+    """
+    points: List[RunPoint] = []
+    for sku in skus:
+        for kernel in kernels:
+            for seed in seeds:
+                for benchmark in benchmarks:
+                    points.append(
+                        RunPoint(
+                            benchmark=benchmark,
+                            sku=sku,
+                            kernel=kernel,
+                            seed=seed,
+                            variant=variant,
+                            measure_seconds=measure_seconds,
+                            warmup_seconds=warmup_seconds,
+                        )
+                    )
+    return points
+
+
+def _digest(payload: object) -> str:
+    canon = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def model_fingerprint() -> str:
+    """Digest of every calibrated model parameter a run depends on.
+
+    Covers the SKU registry (hardware parameters), the kernel registry
+    (scheduler parameters), and the workload characteristic profiles.
+    Editing any of them changes the fingerprint, so cached runs made
+    under the old parameters stop matching.
+    """
+    from repro.hw.sku import SKU_REGISTRY
+    from repro.oskernel.kernel import _KERNELS
+    from repro.workloads.profiles import (
+        BENCHMARK_PROFILES,
+        PRODUCTION_PROFILES,
+        SPEC2017_PROFILES,
+    )
+
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "skus": {name: asdict(sku) for name, sku in SKU_REGISTRY.items()},
+        "kernels": {v: asdict(k) for v, k in _KERNELS.items()},
+        "profiles": {
+            name: asdict(chars)
+            for name, chars in {
+                **BENCHMARK_PROFILES,
+                **PRODUCTION_PROFILES,
+                **SPEC2017_PROFILES,
+            }.items()
+        },
+    }
+    return _digest(payload)[:16]
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package source tree.
+
+    The simulator's outputs depend on its code, not only on model
+    parameters, so the cache must not survive source edits.  Hashing
+    ~1 MB of source costs a few milliseconds once per process — far
+    cheaper than one stale-cache debugging session.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.endswith(".egg-info")
+        )
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    return digest.hexdigest()[:16]
+
+
+def run_fingerprint(point: RunPoint) -> str:
+    """Content key for one run: the point plus model + code digests."""
+    payload = {
+        "point": point.as_dict(),
+        "model": model_fingerprint(),
+        "code": code_fingerprint(),
+    }
+    return _digest(payload)[:32]
+
+
+def dedupe(points: Iterable[RunPoint]) -> List[RunPoint]:
+    """Unique points, preserving first-seen order."""
+    seen = set()
+    out: List[RunPoint] = []
+    for point in points:
+        if point not in seen:
+            seen.add(point)
+            out.append(point)
+    return out

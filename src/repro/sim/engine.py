@@ -32,6 +32,8 @@ class Event:
     callback runs.  Processes wait on events by ``yield``-ing them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -84,8 +86,38 @@ class Event:
         return self
 
 
+class _Resume:
+    """Pre-triggered lightweight queue entry.
+
+    Stands in for the proxy :class:`Event` the engine used to allocate
+    whenever a process (or combinator) subscribed to an event that had
+    already been processed.  It carries the outcome through the queue —
+    preserving the same-timestamp ordering guarantee — without a full
+    Event, its property machinery, or a second ``succeed()`` round.
+    """
+
+    __slots__ = ("callbacks", "_ok", "_value")
+
+    def __init__(
+        self, callback: Callable[["Event"], None], ok: bool, value: Any
+    ) -> None:
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = [callback]
+        self._ok = ok
+        self._value = value
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+
 class Timeout(Event):
     """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -110,6 +142,8 @@ class Process(Event):
     the generator finishes (its value is the generator's return value).
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send"):
             raise TypeError("Process requires a generator")
@@ -117,9 +151,7 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         # Bootstrap: resume the process at the current time.
-        init = Event(env)
-        init.callbacks.append(self._resume)
-        init.succeed()
+        env._schedule_resume(self._resume, True, None)
 
     @property
     def is_alive(self) -> bool:
@@ -134,9 +166,7 @@ class Process(Event):
                 self._target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-        interrupt_event = Event(self.env)
-        interrupt_event.callbacks.append(self._resume_with_interrupt(cause))
-        interrupt_event.succeed()
+        self.env._schedule_resume(self._resume_with_interrupt(cause), True, None)
 
     def _resume_with_interrupt(self, cause: Any) -> Callable[[Event], None]:
         def resume(event: Event) -> None:
@@ -173,15 +203,11 @@ class Process(Event):
             )
         if target.processed:
             # The event already fired (e.g. joining on a fanout where
-            # some branches finished first): resume via a proxy event
-            # carrying the same outcome at the current time.
-            proxy = Event(self.env)
-            proxy.callbacks.append(self._resume)
-            if target.ok:
-                proxy.succeed(target.value)
-            else:
-                proxy.fail(target.value)
-            self._target = proxy
+            # some branches finished first): resume at the current time
+            # via the queue, carrying the same outcome.
+            self._target = self.env._schedule_resume(
+                self._resume, target.ok, target.value
+            )
             return
         self._target = target
         target.callbacks.append(self._resume)
@@ -220,6 +246,15 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
+
+    def _schedule_resume(
+        self, callback: Callable[[Event], None], ok: bool, value: Any
+    ) -> _Resume:
+        """Schedule an immediate resume without allocating a full Event."""
+        entry = _Resume(callback, ok, value)
+        heapq.heappush(self._queue, (self._now, self._seq, entry))
+        self._seq += 1
+        return entry
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

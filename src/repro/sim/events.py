@@ -18,12 +18,9 @@ from repro.sim.engine import Environment, Event
 def _subscribe(env: Environment, event: Event, callback) -> None:
     """Attach a callback, handling already-processed events."""
     if event.processed:
-        proxy = Event(env)
-        proxy.callbacks.append(callback)
-        if event.ok:
-            proxy.succeed(event.value)
-        else:
-            proxy.fail(event.value)
+        # Replay the outcome through the queue at the current time; the
+        # engine's lightweight resume entry avoids a proxy Event.
+        env._schedule_resume(callback, event.ok, event.value)
         return
     event.callbacks.append(callback)
 

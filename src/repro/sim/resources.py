@@ -22,6 +22,8 @@ from repro.sim.engine import Environment, Event
 class StorePut(Event):
     """Event representing a pending put; fires once the item is stored."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -31,6 +33,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Event representing a pending get; fires with the item as value."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
@@ -116,6 +120,8 @@ class PriorityStore(Store):
 
 class ResourceRequest(Event):
     """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)

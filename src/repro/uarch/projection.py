@@ -15,8 +15,9 @@ throughput that the workload layer converts into RPS.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
 
 from repro.hw.power import PowerBreakdown, PowerModel
 from repro.hw.frequency import FrequencyModel
@@ -28,6 +29,38 @@ from repro.uarch.tmam import TmamProfile, tmam_from_misses
 #: Fixed-point iterations for the bandwidth/IPC loop; converges fast
 #: because bandwidth feedback is a mild correction.
 _SOLVE_ITERATIONS = 5
+
+#: Utilization/efficiency inputs are quantized to this many decimal
+#: places before solving, so float jitter below measurement resolution
+#: maps to one cache entry and identical outputs in every process.
+_QUANTIZE_DECIMALS = 6
+
+#: Shared fixed-point result cache.  Workload harnesses re-solve
+#: identical (chars, sku, utilization) points constantly — every
+#: :class:`~repro.workloads.runner.ServerModel` construction and every
+#: ``steady_state()`` assemble — and :class:`SteadyState` is frozen, so
+#: memoizing is safe.  Bounded FIFO to keep long sweeps from growing it
+#: without limit.
+_SOLVE_CACHE: "OrderedDict[Tuple, SteadyState]" = OrderedDict()
+_SOLVE_CACHE_MAX = 4096
+
+
+def solve_cache_stats() -> Dict[str, int]:
+    """Size of the shared solve cache (introspection/testing)."""
+    return {"entries": len(_SOLVE_CACHE), "max_entries": _SOLVE_CACHE_MAX}
+
+
+def clear_solve_cache() -> None:
+    """Drop all memoized fixed-point results."""
+    _SOLVE_CACHE.clear()
+
+
+def _chars_key(chars: WorkloadCharacteristics) -> Tuple:
+    """Content key for a characteristics vector (dicts made hashable)."""
+    scalars = tuple(
+        getattr(chars, f.name) for f in fields(chars) if f.name != "tax_profile"
+    )
+    return scalars + (tuple(sorted(chars.tax_profile.shares.items())),)
 
 
 @dataclass(frozen=True)
@@ -72,6 +105,15 @@ class ProjectionEngine:
         self.sku = sku
         self.frequency_model = frequency_model or FrequencyModel()
         self.power_model = power_model or PowerModel()
+        # Result caching needs hashable model parameters; all bundled
+        # models are frozen dataclasses, but a caller may supply a
+        # custom unhashable model — degrade to uncached solving then.
+        token = (sku, self.frequency_model, self.power_model)
+        try:
+            hash(token)
+        except TypeError:
+            token = None
+        self._cache_token: Optional[Tuple] = token
 
     def solve(
         self,
@@ -97,6 +139,27 @@ class ProjectionEngine:
             raise ValueError(
                 f"scaling_efficiency must be in (0, 1], got {scaling_efficiency}"
             )
+        quantum = 10.0 ** -_QUANTIZE_DECIMALS
+        cpu_util = max(quantum, round(cpu_util, _QUANTIZE_DECIMALS))
+        scaling_efficiency = max(
+            quantum, round(scaling_efficiency, _QUANTIZE_DECIMALS)
+        )
+        if network_util is not None:
+            network_util = max(
+                0.0, min(1.0, round(network_util, _QUANTIZE_DECIMALS))
+            )
+        key = None
+        if self._cache_token is not None:
+            key = (
+                self._cache_token,
+                _chars_key(chars),
+                cpu_util,
+                network_util,
+                scaling_efficiency,
+            )
+            cached = _SOLVE_CACHE.get(key)
+            if cached is not None:
+                return cached
         cpu = self.sku.cpu
         memory = self.sku.memory
 
@@ -163,7 +226,7 @@ class ProjectionEngine:
             vector_intensity=chars.vector_intensity,
         )
 
-        return SteadyState(
+        state = SteadyState(
             workload=chars.name,
             sku=self.sku.name,
             cpu_util=cpu_util,
@@ -179,3 +242,8 @@ class ProjectionEngine:
             power_watts=power.watts(self.sku.designed_power_w),
             requests_per_second=rps,
         )
+        if key is not None:
+            _SOLVE_CACHE[key] = state
+            if len(_SOLVE_CACHE) > _SOLVE_CACHE_MAX:
+                _SOLVE_CACHE.popitem(last=False)
+        return state

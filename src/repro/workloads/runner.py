@@ -275,8 +275,10 @@ class InstanceSet:
 
     def pick(self) -> int:
         """Round-robin instance assignment for a new request."""
-        index = self._next % self.num_instances
-        self._next += 1
+        index = self._next
+        # Wrap at increment so the counter stays bounded over
+        # arbitrarily long simulations instead of growing without limit.
+        self._next = (self._next + 1) % self.num_instances
         return index
 
     def serial_seconds(self, instructions: float) -> float:

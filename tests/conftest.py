@@ -2,11 +2,35 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import pytest
 
 from repro.hw.sku import get_sku
 from repro.sim.engine import Environment
 from repro.workloads.base import RunConfig
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_cache():
+    """Point the persistent run cache at a session-private temp dir.
+
+    Keeps the test suite hermetic: runs neither read stale entries from
+    nor leak entries into the developer's ``~/.cache/dcperf-repro``.
+    Within the session the cache still works, which is what the
+    executor tests exercise.
+    """
+    if os.environ.get("DCPERF_CACHE_DIR"):
+        # CI already sandboxed the cache (tools/ci.sh); respect it.
+        yield
+        return
+    with tempfile.TemporaryDirectory(prefix="dcperf-test-cache-") as tmp:
+        os.environ["DCPERF_CACHE_DIR"] = tmp
+        try:
+            yield
+        finally:
+            os.environ.pop("DCPERF_CACHE_DIR", None)
 
 
 @pytest.fixture

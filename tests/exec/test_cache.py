@@ -1,0 +1,95 @@
+"""Tests for the persistent run cache."""
+
+import json
+import os
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENABLE_ENV,
+    RunCache,
+    cache_enabled,
+    cache_from_env,
+    default_cache_dir,
+)
+from repro.exec.spec import RunPoint
+
+POINT = RunPoint(benchmark="taobench")
+PAYLOAD = {"benchmark": "taobench", "metric": 123.456}
+
+
+class TestRunCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        cache.put("abc123", POINT, PAYLOAD)
+        assert cache.get("abc123") == PAYLOAD
+        assert cache.hits == 1
+        assert cache.misses == 0
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path):
+        """An entry renamed (or tampered with) on disk must not load."""
+        cache = RunCache(str(tmp_path))
+        cache.put("abc123", POINT, PAYLOAD)
+        os.rename(tmp_path / "abc123.json", tmp_path / "def456.json")
+        assert cache.get("def456") is None
+
+    def test_entries_are_valid_json_with_point(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        path = cache.put("abc123", POINT, PAYLOAD)
+        entry = json.loads(open(path).read())
+        assert entry["fingerprint"] == "abc123"
+        assert RunPoint.from_dict(entry["point"]) == POINT
+        assert entry["report"] == PAYLOAD
+
+    def test_info_and_clear(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        cache.put("a" * 8, POINT, PAYLOAD)
+        cache.put("b" * 8, POINT, PAYLOAD)
+        info = cache.info()
+        assert info.directory == str(tmp_path)
+        assert info.entries == 2
+        assert info.total_bytes > 0
+        assert cache.clear() == 2
+        assert cache.info().entries == 0
+
+    def test_info_on_missing_directory(self, tmp_path):
+        cache = RunCache(str(tmp_path / "never-created"))
+        assert cache.info().entries == 0
+        assert cache.clear() == 0
+
+    def test_temp_files_ignored(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        (tmp_path / ".tmp-leftover.json").write_text("{}")
+        assert cache.info().entries == 0
+
+
+class TestEnvironment:
+    def test_dir_env_overrides_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert default_cache_dir() == str(tmp_path)
+        cache = cache_from_env()
+        assert cache is not None
+        assert cache.directory == str(tmp_path)
+
+    def test_default_dir_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir().endswith(
+            os.path.join(".cache", "dcperf-repro")
+        )
+
+    def test_disable_env(self, monkeypatch):
+        for value in ("0", "false", "OFF", "no"):
+            monkeypatch.setenv(CACHE_ENABLE_ENV, value)
+            assert not cache_enabled()
+            assert cache_from_env() is None
+        monkeypatch.setenv(CACHE_ENABLE_ENV, "1")
+        assert cache_enabled()

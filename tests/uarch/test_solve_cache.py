@@ -1,0 +1,70 @@
+"""Tests for the memoized fixed-point solver."""
+
+import pytest
+
+from repro.hw.sku import get_sku
+from repro.uarch.projection import (
+    ProjectionEngine,
+    clear_solve_cache,
+    solve_cache_stats,
+)
+from repro.workloads.profiles import BENCHMARK_PROFILES
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_solve_cache()
+    yield
+    clear_solve_cache()
+
+
+@pytest.fixture
+def chars():
+    return BENCHMARK_PROFILES["taobench"]
+
+
+class TestSolveCache:
+    def test_repeat_solve_hits_cache(self, chars):
+        engine = ProjectionEngine(get_sku("SKU2"))
+        first = engine.solve(chars, cpu_util=0.6)
+        assert solve_cache_stats()["entries"] == 1
+        second = engine.solve(chars, cpu_util=0.6)
+        assert solve_cache_stats()["entries"] == 1
+        assert first == second
+
+    def test_quantization_folds_float_noise(self, chars):
+        """Inputs within the 1e-6 quantum resolve to one cached state,
+        so cross-process float jitter cannot fork results."""
+        engine = ProjectionEngine(get_sku("SKU2"))
+        a = engine.solve(chars, cpu_util=0.6)
+        b = engine.solve(chars, cpu_util=0.6 + 1e-9)
+        assert solve_cache_stats()["entries"] == 1
+        assert a == b
+
+    def test_distinct_inputs_get_distinct_entries(self, chars):
+        engine = ProjectionEngine(get_sku("SKU2"))
+        a = engine.solve(chars, cpu_util=0.4)
+        b = engine.solve(chars, cpu_util=0.8)
+        assert solve_cache_stats()["entries"] == 2
+        assert a != b
+
+    def test_engines_on_different_skus_do_not_collide(self, chars):
+        small = ProjectionEngine(get_sku("SKU1"))
+        large = ProjectionEngine(get_sku("SKU4"))
+        a = small.solve(chars, cpu_util=0.6)
+        b = large.solve(chars, cpu_util=0.6)
+        assert solve_cache_stats()["entries"] == 2
+        assert a != b
+
+    def test_cached_result_matches_cold_result(self, chars):
+        engine = ProjectionEngine(get_sku("SKU2"))
+        warm = engine.solve(chars, cpu_util=0.55, scaling_efficiency=0.9)
+        clear_solve_cache()
+        cold = engine.solve(chars, cpu_util=0.55, scaling_efficiency=0.9)
+        assert warm == cold
+
+    def test_clear_resets(self, chars):
+        engine = ProjectionEngine(get_sku("SKU2"))
+        engine.solve(chars, cpu_util=0.6)
+        clear_solve_cache()
+        assert solve_cache_stats()["entries"] == 0

@@ -133,6 +133,16 @@ class TestInstanceSet:
         assert picks[:5] == [0, 1, 2, 3, 4]
         assert picks[5] == 0
 
+    def test_pick_counter_stays_bounded(self, chars):
+        """Regression: the round-robin cursor must wrap at increment,
+        not grow without bound over long simulations."""
+        harness = BenchmarkHarness(RunConfig(sku_name="SKU4"), chars)
+        instances = InstanceSet(harness)
+        n = instances.num_instances
+        picks = [instances.pick() for _ in range(7 * n + 3)]
+        assert picks == [i % n for i in range(7 * n + 3)]
+        assert 0 <= instances._next < n
+
     def test_serial_seconds_is_ipc_blind(self, chars):
         """The serialized slice runs at frequency speed, not IPC speed:
         the same instructions take similar time on SKU1 and SKU4

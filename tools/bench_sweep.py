@@ -1,0 +1,109 @@
+"""Benchmark the sweep executor: cold cache vs warm cache vs parallel.
+
+Times a 6-benchmark x 4-SKU sweep (the Figure 2 grid) three ways:
+
+* **cold** — serial, empty cache: every point simulated from scratch;
+* **warm** — serial rerun against the cache the cold pass filled;
+* **parallel** — empty cache again, fanned out over worker processes.
+
+Writes ``BENCH_sweep.json`` with the raw timings and derived speedups.
+The cache lives in a private temp directory, so this never touches
+(or benefits from) your real ``~/.cache/dcperf-repro``.
+
+Run:
+    python tools/bench_sweep.py [--parallel N] [--measure SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro.exec.cache import RunCache
+from repro.exec.executor import SweepExecutor, auto_workers
+from repro.exec.spec import expand_grid
+from repro.workloads.registry import dcperf_benchmarks
+
+SKUS = ["SKU1", "SKU2", "SKU3", "SKU4"]
+
+
+def timed_sweep(points, executor):
+    start = time.monotonic()
+    executor.run(points)
+    elapsed = time.monotonic() - start
+    return elapsed, executor.last_stats.as_dict()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="workers for the parallel pass (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--measure", type=float, default=1.0, metavar="SECONDS",
+        help="simulated measurement window per point",
+    )
+    parser.add_argument("--output", default="BENCH_sweep.json")
+    args = parser.parse_args()
+    workers = args.parallel or auto_workers()
+
+    points = expand_grid(
+        benchmarks=dcperf_benchmarks(),
+        skus=SKUS,
+        measure_seconds=args.measure,
+    )
+    print(
+        f"{len(points)} points ({len(dcperf_benchmarks())} benchmarks x "
+        f"{len(SKUS)} SKUs), {os.cpu_count()} CPUs on this machine"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="dcperf-bench-") as tmp:
+        cache = RunCache(os.path.join(tmp, "cache"))
+        cold_s, cold_stats = timed_sweep(
+            points, SweepExecutor(max_workers=1, cache=cache)
+        )
+        print(f"cold  (serial, empty cache): {cold_s:7.2f}s")
+        warm_s, warm_stats = timed_sweep(
+            points, SweepExecutor(max_workers=1, cache=cache)
+        )
+        print(f"warm  (serial, full cache):  {warm_s:7.2f}s   "
+              f"{warm_s / cold_s:6.1%} of cold")
+        par_cache = RunCache(os.path.join(tmp, "cache-parallel"))
+        par_s, par_stats = timed_sweep(
+            points, SweepExecutor(max_workers=workers, cache=par_cache)
+        )
+        print(f"parallel ({workers} workers, empty): {par_s:7.2f}s   "
+              f"{cold_s / par_s:5.2f}x vs cold serial")
+
+    payload = {
+        "grid": {
+            "benchmarks": dcperf_benchmarks(),
+            "skus": SKUS,
+            "points": len(points),
+            "measure_seconds": args.measure,
+        },
+        "machine": {"cpus": os.cpu_count()},
+        "cold": {"seconds": cold_s, "stats": cold_stats},
+        "warm": {
+            "seconds": warm_s,
+            "stats": warm_stats,
+            "fraction_of_cold": warm_s / cold_s,
+        },
+        "parallel": {
+            "seconds": par_s,
+            "stats": par_stats,
+            "workers": workers,
+            "speedup_vs_cold": cold_s / par_s,
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

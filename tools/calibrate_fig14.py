@@ -2,21 +2,37 @@
 
 Prints model Perf/Watt (normalized to SKU1) against the paper values,
 for the DCPerf benchmarks and the SPEC 2017 suite.
+
+All (benchmark, SKU) points are expanded into one sweep through the
+shared executor, so the persistent run cache makes re-runs after a
+calibration edit cheap; ``--parallel N`` fans the sweep out over N
+worker processes.
 """
+import argparse
 import math
 
 from repro.core.suite import DCPerfSuite
+from repro.exec.executor import SweepExecutor
 from repro.workloads.spec import spec2017_suite
 from repro.workloads.targets import FIG14_PERF_PER_WATT
 
 
 def main() -> None:
-    suite = DCPerfSuite(measure_seconds=1.0)
-    base = suite.run("SKU1").perf_per_watt
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--parallel", type=int, default=1, metavar="N")
+    args = parser.parse_args()
+
+    skus = ("SKU4", "SKU-A", "SKU-B")
+    suite = DCPerfSuite(
+        measure_seconds=1.0,
+        executor=SweepExecutor(max_workers=args.parallel),
+    )
+    reports = suite.run_many(["SKU1", *skus])
+    base = reports["SKU1"].perf_per_watt
     s17 = spec2017_suite()
     spec_base_ppw = 1.0 / s17.average_power_watts("SKU1")
-    for sku in ("SKU4", "SKU-A", "SKU-B"):
-        rep = suite.run(sku)
+    for sku in skus:
+        rep = reports[sku]
         norm = {k: rep.perf_per_watt[k] / base[k] for k in base}
         vals = [v for v in norm.values() if v > 0]
         geo = math.exp(sum(math.log(v) for v in vals) / len(vals))

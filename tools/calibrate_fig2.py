@@ -3,10 +3,18 @@
 Run after changing SKU parameters in repro.hw.sku to see how the four
 suites (production, DCPerf, SPEC 2006, SPEC 2017) scale across SKUs
 relative to SKU1, compared to the paper's published ratios.
+
+Sweeps go through the shared executor: pass ``--parallel N`` to fan
+runs out over N worker processes, and note that finished points are
+memoized in the persistent run cache (``DCPERF_CACHE_DIR``), so
+re-running after a calibration tweak only recomputes what the edit
+invalidated.
 """
+import argparse
 import time
 
 from repro.core.suite import DCPerfSuite
+from repro.exec.executor import SweepExecutor
 from repro.workloads.spec import spec2006_suite, spec2017_suite
 from repro.workloads.targets import FIG2_SKU_PERFORMANCE
 
@@ -14,20 +22,27 @@ SKUS = ["SKU1", "SKU2", "SKU3", "SKU4"]
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--parallel", type=int, default=1, metavar="N")
+    args = parser.parse_args()
+
     t0 = time.time()
     s17 = spec2017_suite()
     s06 = spec2006_suite()
     spec17 = [s17.score(sku) for sku in SKUS]
     spec06 = [s06.score(sku) for sku in SKUS]
 
-    bench_suite = DCPerfSuite(measure_seconds=1.0)
-    dcperf, prod_w = [], []
-    prod_suite = DCPerfSuite(variant=":prod", measure_seconds=1.0)
-    for sku in SKUS:
-        rep = bench_suite.run(sku)
-        dcperf.append(rep.overall_score)
-        prep = prod_suite.run(sku)
-        prod_w.append(prod_suite.production_score(prep))
+    executor = SweepExecutor(max_workers=args.parallel)
+    bench_suite = DCPerfSuite(measure_seconds=1.0, executor=executor)
+    prod_suite = DCPerfSuite(
+        variant=":prod", measure_seconds=1.0, executor=executor
+    )
+    bench_reports = bench_suite.run_many(SKUS)
+    prod_reports = prod_suite.run_many(SKUS)
+    dcperf = [bench_reports[sku].overall_score for sku in SKUS]
+    prod_w = [
+        prod_suite.production_score(prod_reports[sku]) for sku in SKUS
+    ]
 
     print(f"evaluated in {time.time()-t0:.1f}s")
     rows = {
