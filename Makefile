@@ -6,8 +6,9 @@ PYTHON ?= python
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
-# Tier-1 gate: unit suite + a 2-point parallel smoke sweep, with the
-# run cache isolated in a temp directory (see tools/ci.sh).
+# Tier-1 gate: unit suite + a 2-point parallel smoke sweep + a
+# fault-scenario replay check, with the run cache isolated in a temp
+# directory (see tools/ci.sh).
 verify:
 	sh tools/ci.sh
 

@@ -8,6 +8,7 @@ and comparing saturation behaviour across SKUs.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -66,14 +67,8 @@ def sweep_load(
         raise ValueError("load_scales must be ascending")
     points: List[LoadPoint] = []
     for scale in load_scales:
-        config = RunConfig(
-            sku_name=base_config.sku_name,
-            kernel_version=base_config.kernel_version,
-            seed=base_config.seed,
-            warmup_seconds=base_config.warmup_seconds,
-            measure_seconds=base_config.measure_seconds,
-            load_scale=base_config.load_scale * scale,
-            batch=base_config.batch,
+        config = dataclasses.replace(
+            base_config, load_scale=base_config.load_scale * scale
         )
         result = workload.run(config)
         points.append(

@@ -28,6 +28,11 @@ from repro.exec.executor import SweepExecutor
 from repro.hw.sku import list_skus
 from repro.workloads.base import RunConfig
 from repro.workloads.registry import dcperf_benchmarks, extension_benchmarks
+from repro.workloads.scenarios import (
+    apply_fault_scenario,
+    fault_scenario_names,
+    get_fault_scenario,
+)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -88,6 +93,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         measure_seconds=args.measure_seconds,
     )
+    if args.faults:
+        config = apply_fault_scenario(config, args.faults)
     report = bench.run(config)
     payload = report.as_dict()
     if args.json:
@@ -123,17 +130,56 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print("no SKUs given", file=sys.stderr)
         return 2
     suite = DCPerfSuite(
-        measure_seconds=args.measure_seconds, executor=_suite_executor(args)
+        measure_seconds=args.measure_seconds,
+        executor=_suite_executor(args),
+        faults=args.faults or "",
     )
+    if args.faults:
+        scenario = get_fault_scenario(args.faults)
+        print(f"fault scenario: {scenario.name} — {scenario.description}")
     reports = suite.run_many(skus, kernel=args.kernel, seed=args.seed)
     for sku, report in reports.items():
         if len(reports) > 1:
             print(f"\n== {sku} ==")
-        rows = [
-            [name, f"{report.reports[name].metric_value:.4g}", f"{score:.3f}"]
-            for name, score in report.scores.items()
-        ]
-        print(format_table(["benchmark", "metric", "score vs SKU1"], rows))
+        if args.faults:
+            rows = []
+            for name, score in report.scores.items():
+                bench_report = report.reports[name]
+                resilience = bench_report.hook_sections.get("resilience", {})
+                p95 = bench_report.result.latency.get("p95", 0.0)
+                rows.append(
+                    [
+                        name,
+                        f"{bench_report.metric_value:.4g}",
+                        f"{score:.3f}",
+                        f"{p95 * 1000.0:.1f}",
+                        f"{resilience.get('slo_compliance_pct', 100.0):.1f}",
+                        f"{resilience.get('error_rate', 0.0):.3f}",
+                    ]
+                )
+            print(
+                format_table(
+                    [
+                        "benchmark",
+                        "metric",
+                        "score vs SKU1",
+                        "p95 ms",
+                        "SLO %",
+                        "err rate",
+                    ],
+                    rows,
+                )
+            )
+        else:
+            rows = [
+                [
+                    name,
+                    f"{report.reports[name].metric_value:.4g}",
+                    f"{score:.3f}",
+                ]
+                for name, score in report.scores.items()
+            ]
+            print(format_table(["benchmark", "metric", "score vs SKU1"], rows))
         print(f"\noverall score (geomean): {report.overall_score:.3f}")
     stats = suite.executor.last_stats
     if stats is not None:
@@ -203,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--kernel", default="6.9", choices=["6.4", "6.9"])
     p_run.add_argument("--seed", type=int, default=7)
     p_run.add_argument("--measure-seconds", type=float, default=2.0)
+    p_run.add_argument(
+        "--faults",
+        choices=fault_scenario_names(),
+        help="inject a named fault scenario during the run",
+    )
     p_run.add_argument("--json", help="write the report to this JSON file")
     p_run.set_defaults(func=_cmd_run)
 
@@ -230,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_suite.add_argument(
         "--cache-dir", help="override the run-cache directory"
+    )
+    p_suite.add_argument(
+        "--faults",
+        choices=fault_scenario_names(),
+        help="run the whole suite (baseline included) under a named "
+        "fault scenario; adds SLO/error columns to the output",
     )
     p_suite.add_argument("--json", help="write the report to this JSON file")
     p_suite.set_defaults(func=_cmd_suite)

@@ -203,6 +203,49 @@ class CopyMoveHook(Hook):
         return {"copied": [path]}
 
 
+class ResilienceHook(Hook):
+    """SLO compliance and resilience accounting under fault injection.
+
+    Reads the ``resilience_*`` counters the
+    :class:`~repro.workloads.runner.BenchmarkHarness` attaches when a
+    run carries a resilience policy.  For fault-free runs the section
+    is simply ``{"enabled": False}`` so every report keeps the same
+    shape.
+    """
+
+    name = "resilience"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        extra = result.extra
+        if "resilience_requests" not in extra:
+            return {"enabled": False}
+        requests = extra.get("resilience_requests", 0.0)
+        attempts = extra.get("resilience_attempts", 0.0)
+        failures = extra.get("resilience_failures", 0.0)
+        goodput = extra.get("resilience_goodput_rps", 0.0)
+        throughput = result.throughput_rps
+        return {
+            "enabled": True,
+            "scenario": ctx.config.fault_scenario or "custom",
+            "requests": requests,
+            "error_rate": failures / requests if requests else 0.0,
+            "retry_amplification": attempts / requests if requests else 1.0,
+            "retries": extra.get("resilience_retries", 0.0),
+            "timeouts": extra.get("resilience_timeouts", 0.0),
+            "hedges": extra.get("resilience_hedges", 0.0),
+            "hedge_wins": extra.get("resilience_hedge_wins", 0.0),
+            "breaker_rejections": extra.get("resilience_breaker_rejections", 0.0),
+            "net_drops": extra.get("resilience_net_drops", 0.0),
+            "unavailable": extra.get("resilience_unavailable", 0.0),
+            "slo_latency_ms": extra.get("resilience_slo_latency_s", 0.0) * 1000.0,
+            "slo_compliance_pct": extra.get("resilience_slo_compliance", 1.0)
+            * 100.0,
+            "goodput_rps": goodput,
+            "goodput_fraction": goodput / throughput if throughput else 0.0,
+            "fault_events_applied": extra.get("fault_events_applied", 0.0),
+        }
+
+
 class HookRegistry:
     """Named collection of hooks applied to every run."""
 
@@ -231,9 +274,22 @@ class HookRegistry:
     def run_after(
         self, ctx: RunContext, result: WorkloadResult
     ) -> Dict[str, Dict[str, object]]:
+        """Every hook's report section, keyed by hook name.
+
+        A hook that raises marks its own section as failed instead of
+        aborting the run: the benchmark result is already computed by
+        the time hooks fire, and losing it to a broken monitoring
+        plugin inverts the value hierarchy.
+        """
         sections: Dict[str, Dict[str, object]] = {}
         for name, hook in self._hooks.items():
-            sections[name] = hook.after_run(ctx, result)
+            try:
+                sections[name] = hook.after_run(ctx, result)
+            except Exception as exc:
+                sections[name] = {
+                    "hook_failed": True,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
         return sections
 
 
@@ -249,5 +305,6 @@ def default_hooks() -> HookRegistry:
             TopdownHook(),
             UarchHook(),
             TimelineHook(),
+            ResilienceHook(),
         ]
     )

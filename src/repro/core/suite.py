@@ -75,12 +75,18 @@ class DCPerfSuite:
         executor: Optional[SweepExecutor] = None,
         max_workers: int = 1,
         cache: Optional[RunCache] = None,
+        faults: str = "",
     ) -> None:
         self.benchmark_names = benchmark_names or dcperf_benchmarks()
         #: '' for the DCPerf benchmarks, ':prod' for production twins.
         self.variant = variant
         self.scoreboard = ScoreBoard(baseline_sku)
         self.measure_seconds = measure_seconds
+        #: Named fault scenario applied to every point, baseline
+        #: included — scores then compare SKUs under the same faults,
+        #: and fault-free baselines can never cross-contaminate (the
+        #: scenario is part of each point's fingerprint).
+        self.faults = faults
         self.executor = executor or SweepExecutor(
             max_workers=max_workers, cache=cache
         )
@@ -93,6 +99,7 @@ class DCPerfSuite:
             seed=seed,
             variant=self.variant,
             measure_seconds=self.measure_seconds,
+            faults=self.faults,
         )
 
     def _baseline_key(self, name: str, kernel: str, seed: int) -> str:

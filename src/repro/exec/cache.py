@@ -17,6 +17,7 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -46,10 +47,31 @@ def cache_enabled() -> bool:
 
 
 def cache_from_env() -> Optional["RunCache"]:
-    """A cache honouring the environment, or ``None`` when disabled."""
+    """A cache honouring the environment, or ``None`` when disabled.
+
+    Probes the configured directory up front: if it cannot be created
+    or written (read-only volume, bad ``DCPERF_CACHE_DIR``), a warning
+    is issued and caching is disabled for the process rather than
+    blowing up mid-sweep.
+    """
     if not cache_enabled():
         return None
-    return RunCache()
+    directory = default_cache_dir()
+    try:
+        os.makedirs(directory, exist_ok=True)
+        probe_ok = os.access(directory, os.W_OK)
+    except OSError:
+        probe_ok = False
+    if not probe_ok:
+        warnings.warn(
+            f"run cache directory {directory!r} is not writable; "
+            "persistent caching disabled (set DCPERF_CACHE_DIR to a "
+            "writable path or DCPERF_CACHE=0 to silence this)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return RunCache(directory)
 
 
 @dataclass(frozen=True)
@@ -80,12 +102,18 @@ class RunCache:
         self.directory = directory or default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Set after the first failed write: the cache degrades to a
+        #: no-op (with one warning) instead of failing every sweep
+        #: point on an unwritable directory.
+        self.disabled = False
 
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.directory, f"{fingerprint}.json")
 
     def get(self, fingerprint: str) -> Optional[Dict[str, object]]:
         """The stored report payload, or ``None`` on miss/corruption."""
+        if self.disabled:
+            return None
         try:
             with open(self._path(fingerprint)) as fh:
                 entry = json.load(fh)
@@ -103,9 +131,15 @@ class RunCache:
         fingerprint: str,
         point: RunPoint,
         payload: Dict[str, object],
-    ) -> str:
-        """Atomically persist one run payload; returns the path."""
-        os.makedirs(self.directory, exist_ok=True)
+    ) -> Optional[str]:
+        """Atomically persist one run payload; returns the path.
+
+        On an I/O failure (directory vanished, volume went read-only,
+        disk full) the cache disables itself with a warning and returns
+        ``None`` — losing memoization must never lose the sweep.
+        """
+        if self.disabled:
+            return None
         entry = {
             "fingerprint": fingerprint,
             "point": point.as_dict(),
@@ -113,18 +147,35 @@ class RunCache:
             "report": payload,
         }
         path = self._path(fingerprint)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
+        tmp_path: Optional[str] = None
         try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
             with os.fdopen(fd, "w") as fh:
                 json.dump(entry, fh)
             os.replace(tmp_path, path)
+        except OSError as exc:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            self.disabled = True
+            warnings.warn(
+                f"run cache write to {self.directory!r} failed ({exc}); "
+                "caching disabled for the rest of this process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
         except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
             raise
         return path
 

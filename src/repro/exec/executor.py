@@ -43,6 +43,11 @@ def _run_point_payload(point: RunPoint) -> Dict[str, object]:
     """Execute one point and return its lossless report payload."""
     from repro.core.benchmark import Benchmark
 
+    # Test seam for the per-point timeout path: env vars (unlike
+    # monkeypatches) propagate into pool workers.
+    delay = os.environ.get("DCPERF_FAULT_POINT_DELAY", "")
+    if delay:
+        time.sleep(float(delay))
     report = Benchmark.by_name(point.workload_name).run(point.run_config())
     return report_to_dict(report)
 
@@ -67,6 +72,11 @@ class SweepStats:
     executed: int = 0
     workers: int = 1
     elapsed_seconds: float = 0.0
+    #: Points that timed out or were lost to a worker crash and were
+    #: recovered by re-running in-process.
+    recovered: int = 0
+    #: Points whose pooled execution exceeded the per-point timeout.
+    timeouts: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -76,6 +86,8 @@ class SweepStats:
             "executed": self.executed,
             "workers": self.workers,
             "elapsed_seconds": self.elapsed_seconds,
+            "recovered": self.recovered,
+            "timeouts": self.timeouts,
         }
 
 
@@ -96,10 +108,18 @@ class SweepExecutor:
         max_workers: Optional[int] = None,
         cache: Optional[RunCache] = None,
         use_cache: bool = True,
+        point_timeout_s: Optional[float] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ValueError(
+                f"point_timeout_s must be positive, got {point_timeout_s}"
+            )
         self.max_workers = max_workers or auto_workers()
+        #: Wall-clock budget per pooled point; a straggler past this is
+        #: abandoned and re-run in-process.  ``None`` = no timeout.
+        self.point_timeout_s = point_timeout_s
         #: ``None`` disables persistence; by default the environment
         #: decides (``DCPERF_CACHE``/``DCPERF_CACHE_DIR``).
         self.cache = cache if cache is not None else (
@@ -141,12 +161,22 @@ class SweepExecutor:
         if todo:
             if stats.workers == 1:
                 for fp, point in todo:
-                    payloads[fp] = _run_point_payload(point)
+                    payloads[fp] = self._finish_point(
+                        fp, point, _run_point_payload(point)
+                    )
             else:
-                payloads.update(self._run_pooled(todo, stats.workers))
-            if self.cache is not None:
-                for fp, point in todo:
-                    self.cache.put(fp, point, payloads[fp])
+                pooled, lost, timeouts = self._run_pooled(todo, stats.workers)
+                payloads.update(pooled)
+                stats.timeouts = timeouts
+                # Points lost to a worker crash (BrokenProcessPool) or
+                # to the per-point timeout are re-run in-process — the
+                # debuggable path — so one bad point cannot sink a
+                # whole sweep.
+                stats.recovered = len(lost)
+                for fp, point in lost:
+                    payloads[fp] = self._finish_point(
+                        fp, point, _run_point_payload(point)
+                    )
 
         # Materialize a fresh report per output position: callers
         # mutate `.score`, so deduplicated positions must not alias.
@@ -158,12 +188,63 @@ class SweepExecutor:
         )
 
     # -- internals ------------------------------------------------------------
+    def _finish_point(
+        self, fp: str, point: RunPoint, payload: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Persist one completed point immediately (partial resume).
+
+        Writing per point instead of in bulk after the sweep means a
+        killed sweep keeps everything it finished: the restart loads
+        those points from the cache and only re-runs the remainder.
+        """
+        if self.cache is not None:
+            self.cache.put(fp, point, payload)
+        return payload
+
     def _run_pooled(
         self, todo: Sequence[Tuple[str, RunPoint]], workers: int
-    ) -> Dict[str, Dict[str, object]]:
-        from concurrent.futures import ProcessPoolExecutor
+    ) -> Tuple[Dict[str, Dict[str, object]], List[Tuple[str, RunPoint]], int]:
+        """Fan ``todo`` out over a process pool.
 
-        args = [point.as_dict() for _, point in todo]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_pool_worker, args))
-        return {fp: payload for (fp, _), payload in zip(todo, results)}
+        Returns ``(completed payloads, lost points, timeout count)``.
+        Lost points are those whose worker crashed (the pool breaks) or
+        whose execution exceeded ``point_timeout_s``; the caller re-runs
+        them in-process.  Application-level exceptions from a point
+        still propagate — they would fail in-process too.
+        """
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+
+        completed: Dict[str, Dict[str, object]] = {}
+        lost: List[Tuple[str, RunPoint]] = []
+        timeouts = 0
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = [
+                (fp, point, pool.submit(_pool_worker, point.as_dict()))
+                for fp, point in todo
+            ]
+            broken = False
+            for fp, point, future in futures:
+                if broken:
+                    lost.append((fp, point))
+                    continue
+                try:
+                    payload = future.result(timeout=self.point_timeout_s)
+                except FutureTimeout:
+                    timeouts += 1
+                    future.cancel()
+                    lost.append((fp, point))
+                except BrokenExecutor:
+                    # A worker died (OOM-kill, segfault, hard exit):
+                    # every in-flight future is gone.  Collect the rest
+                    # as lost instead of raising.
+                    broken = True
+                    lost.append((fp, point))
+                else:
+                    completed[fp] = self._finish_point(fp, point, payload)
+        finally:
+            # Never block on a hung or broken pool: cancel what has not
+            # started and let stragglers die with their processes.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return completed, lost, timeouts

@@ -23,7 +23,9 @@ from repro.workloads.base import RunConfig
 
 #: Bump to invalidate every cached run when the cache layout itself
 #: changes (not needed for model/code edits — those are digested).
-CACHE_SCHEMA_VERSION = 1
+#: 2: RunPoint grew the ``faults`` scenario field and the model digest
+#: now covers the fault-scenario registry.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, order=True)
@@ -39,6 +41,9 @@ class RunPoint:
     warmup_seconds: float = 0.5
     load_scale: float = 1.0
     batch: int = 1
+    #: Named fault scenario ("" = fault-free).  Stored as the name so
+    #: points stay hashable/serializable; resolved in :meth:`run_config`.
+    faults: str = ""
 
     @property
     def workload_name(self) -> str:
@@ -46,7 +51,7 @@ class RunPoint:
         return f"{self.benchmark}{self.variant}"
 
     def run_config(self) -> RunConfig:
-        return RunConfig(
+        config = RunConfig(
             sku_name=self.sku,
             kernel_version=self.kernel,
             seed=self.seed,
@@ -55,6 +60,11 @@ class RunPoint:
             load_scale=self.load_scale,
             batch=self.batch,
         )
+        if self.faults:
+            from repro.workloads.scenarios import apply_fault_scenario
+
+            config = apply_fault_scenario(config, self.faults)
+        return config
 
     def as_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -119,6 +129,7 @@ def model_fingerprint() -> str:
         PRODUCTION_PROFILES,
         SPEC2017_PROFILES,
     )
+    from repro.workloads.scenarios import FAULT_SCENARIOS
 
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
@@ -131,6 +142,10 @@ def model_fingerprint() -> str:
                 **PRODUCTION_PROFILES,
                 **SPEC2017_PROFILES,
             }.items()
+        },
+        "fault_scenarios": {
+            name: scenario.as_dict()
+            for name, scenario in FAULT_SCENARIOS.items()
         },
     }
     return _digest(payload)[:16]

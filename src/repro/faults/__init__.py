@@ -1,0 +1,52 @@
+"""Deterministic fault injection and client-side resilience.
+
+``repro.faults`` models the permanent partial failure of production
+datacenters — degraded cores, throttled clocks, crash-restarts, lossy
+networks — as seed-scheduled simulation events, plus the client-side
+primitives (deadlines, retries, circuit breakers, hedging) that
+production services use to survive them.  Schedules ride inside
+:class:`~repro.workloads.base.RunConfig`, so fault scenarios are part
+of a run's fingerprint and replay byte-identically.
+"""
+
+from repro.faults.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultError,
+    NetworkLossError,
+    RetriesExhaustedError,
+    ServerUnavailableError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import (
+    DISABLED_POLICY,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilienceStats,
+    ServiceClient,
+)
+from repro.faults.schedule import (
+    EMPTY_SCHEDULE,
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DISABLED_POLICY",
+    "DeadlineExceededError",
+    "EMPTY_SCHEDULE",
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "NetworkLossError",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "RetriesExhaustedError",
+    "ServerUnavailableError",
+    "ServiceClient",
+]

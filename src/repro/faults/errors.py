@@ -1,0 +1,44 @@
+"""Fault-domain exception hierarchy.
+
+These deliberately do **not** subclass
+:class:`repro.core.errors.DCPerfError`: faults are *simulated* service
+failures that flow through workload models and resilience primitives,
+not framework errors — and keeping this module import-free lets the
+scheduler and the sim layer raise them without dragging in
+``repro.core`` (whose package ``__init__`` imports the executor).
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class for simulated-fault failures seen by clients."""
+
+
+class ServerUnavailableError(FaultError):
+    """The simulated server is crashed/restarting; the call is refused."""
+
+
+class NetworkLossError(FaultError):
+    """The request (or its reply) was dropped by the network fault."""
+
+
+class DeadlineExceededError(FaultError):
+    """The call did not complete within the client's deadline."""
+
+
+class CircuitOpenError(FaultError):
+    """The client's circuit breaker is open; the call failed fast."""
+
+
+class RetriesExhaustedError(FaultError):
+    """Every attempt (including retries) failed.
+
+    ``attempts`` records how many attempts were made; ``last`` holds the
+    final attempt's failure.
+    """
+
+    def __init__(self, attempts: int, last: BaseException) -> None:
+        super().__init__(f"all {attempts} attempt(s) failed: {last}")
+        self.attempts = attempts
+        self.last = last

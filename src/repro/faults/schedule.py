@@ -1,0 +1,135 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is an ordered, immutable list of
+:class:`FaultSpec` entries describing *when* (as fractions of the
+measurement window, so one schedule is meaningful for any
+``measure_seconds``) and *what* goes wrong on the simulated machine.
+Schedules travel inside :class:`~repro.workloads.base.RunConfig`, are
+digested into the run fingerprint, and are replayed by the
+:class:`~repro.faults.injector.FaultInjector` as ordinary simulation
+events — so the same seed and schedule produce byte-identical reports,
+serial or parallel.
+
+Magnitude semantics per kind:
+
+========================  ====================================================
+``server_slowdown``       multiplier (> 1.0) applied to every CPU burst
+``server_crash``          magnitude ignored; the server refuses work
+``freq_throttle``         fraction of effective frequency lost, in (0, 1)
+``mem_pressure``          added slowdown fraction, scaled by memory intensity
+``cache_flush``           added slowdown fraction while caches re-warm
+``net_latency``           seconds of extra latency added to each client call
+``net_loss``              probability each client attempt is dropped, [0, 1]
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "server_slowdown",
+    "server_crash",
+    "freq_throttle",
+    "mem_pressure",
+    "cache_flush",
+    "net_latency",
+    "net_loss",
+)
+
+#: Kinds whose magnitude is a probability/fraction bounded by 1.
+_FRACTION_KINDS = ("freq_throttle", "net_loss")
+
+
+@dataclass(frozen=True, order=True)
+class FaultSpec:
+    """One fault: what happens, when, for how long, how hard.
+
+    ``start_frac`` and ``duration_frac`` are fractions of the
+    measurement window; the injector converts them to absolute sim
+    times once it knows the window.
+    """
+
+    kind: str
+    start_frac: float
+    duration_frac: float
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {known}")
+        if not 0.0 <= self.start_frac < 1.0:
+            raise ValueError(f"start_frac must be in [0, 1), got {self.start_frac}")
+        if self.duration_frac <= 0.0 or self.start_frac + self.duration_frac > 1.0:
+            raise ValueError(
+                "duration_frac must be positive and the fault must end "
+                f"within the window (start={self.start_frac}, "
+                f"duration={self.duration_frac})"
+            )
+        if self.magnitude <= 0.0:
+            raise ValueError(f"magnitude must be positive, got {self.magnitude}")
+        if self.kind == "server_slowdown" and self.magnitude <= 1.0:
+            raise ValueError("server_slowdown magnitude is a multiplier > 1.0")
+        if self.kind in _FRACTION_KINDS and self.magnitude >= 1.0:
+            raise ValueError(f"{self.kind} magnitude must be a fraction < 1.0")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSpec":
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, hashable sequence of faults.
+
+    Empty schedules are falsy, so ``if config.faults:`` reads naturally.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def sorted_by_start(self) -> List[FaultSpec]:
+        """Faults ordered by onset time (schedule order breaks ties)."""
+        return sorted(self.faults, key=lambda f: f.start_frac)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"faults": [f.as_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultSchedule":
+        specs = payload.get("faults", [])
+        return cls(faults=tuple(FaultSpec.from_dict(dict(s)) for s in specs))
+
+    @classmethod
+    def of(cls, *faults: FaultSpec) -> "FaultSchedule":
+        return cls(faults=tuple(faults))
+
+
+#: The shared "no faults" schedule used as the RunConfig default.
+EMPTY_SCHEDULE = FaultSchedule()
+
+
+def merge(schedules: Sequence[FaultSchedule]) -> FaultSchedule:
+    """Concatenate schedules (the injector orders by start time)."""
+    out: List[FaultSpec] = []
+    for schedule in schedules:
+        out.extend(schedule.faults)
+    return FaultSchedule(faults=tuple(out))

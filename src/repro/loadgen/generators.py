@@ -77,7 +77,14 @@ class OpenLoopGenerator:
 
     def _dispatch(self, request: Request) -> Generator:
         start = self.env.now
-        yield from self.handler(request)
+        try:
+            yield from self.handler(request)
+        except Exception:
+            # A failed request (fault injection, exhausted retries) is a
+            # request error, not a simulation crash.
+            self.recorder.record_error()
+            self.completed += 1
+            return
         latency = self.env.now - start
         if self.timeout_seconds is not None and latency > self.timeout_seconds:
             self.recorder.record_error()
@@ -125,6 +132,10 @@ class ClosedLoopGenerator:
             request = Request(request_id=self.issued, created_at=self.env.now)
             self.issued += 1
             start = self.env.now
-            yield from self.handler(request)
-            self.recorder.record(self.env.now - start)
+            try:
+                yield from self.handler(request)
+            except Exception:
+                self.recorder.record_error()
+            else:
+                self.recorder.record(self.env.now - start)
             self.completed += 1

@@ -7,6 +7,7 @@ enough that a t-digest would be overkill and less testable).
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List
 
 
@@ -61,6 +62,20 @@ class LatencyRecorder:
             raise ValueError("no samples recorded")
         self._ensure_sorted()
         return self._samples[-1]
+
+    def fraction_below(self, threshold_seconds: float) -> float:
+        """Fraction of successful requests at or under the threshold.
+
+        This is SLO compliance when the threshold is the latency
+        objective; errors count as misses (the denominator includes
+        them) because a failed request never met its SLO.
+        """
+        total = len(self._samples) + self.errors
+        if total == 0:
+            return 1.0
+        self._ensure_sorted()
+        within = bisect.bisect_right(self._samples, threshold_seconds)
+        return within / total
 
     def error_rate(self) -> float:
         total = len(self._samples) + self.errors

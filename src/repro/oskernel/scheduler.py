@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.errors import ServerUnavailableError
 from repro.oskernel.kernel import KernelVersion
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
@@ -73,6 +74,12 @@ class CpuScheduler:
     kernel: KernelVersion
     single_thread_speedup: float = 1.0
     stats: SchedulerStats = field(default_factory=SchedulerStats)
+    #: Multiplier the fault injector applies to every burst (>= 1.0);
+    #: 1.0 means no active CPU-channel fault.
+    fault_slowdown: float = 1.0
+    #: True while a simulated crash/restart is in progress: new
+    #: dispatches are refused, in-flight bursts drain.
+    offline: bool = False
 
     def __post_init__(self) -> None:
         if self.logical_cores < 1:
@@ -121,11 +128,23 @@ class CpuScheduler:
             raise ValueError("burst durations must be non-negative")
         if dispatches < 1:
             raise ValueError("dispatches must be >= 1")
+        if self.offline:
+            raise ServerUnavailableError(
+                "server is down (simulated crash/restart in progress)"
+            )
         request = self.cores.request()
-        yield request
+        try:
+            yield request
+        except BaseException:
+            # Interrupted (abandoned request / deadline) while waiting
+            # for — or at the instant of being granted — a core: hand
+            # the slot back so it cannot leak.
+            self.cores.release(request)
+            raise
         speedup = self._current_speedup()
         overhead = self.dispatch_overhead_seconds * dispatches
         duration = (user_seconds + kernel_seconds) / speedup + overhead
+        duration *= self.fault_slowdown
         try:
             yield self.env.timeout(duration)
         finally:

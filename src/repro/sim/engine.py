@@ -194,6 +194,17 @@ class Process(Event):
             self.env._active_process = None
             self.succeed(None)
             return
+        except StopSimulation:
+            raise
+        except BaseException as exc:
+            # Any other uncaught exception fails the process event, so
+            # waiters (joins, races, resilience retries) see it as a
+            # failure.  If nobody waits on the process, the orphan rule
+            # in :meth:`Environment.step` re-raises it — an unhandled
+            # error still stops the simulation.
+            self.env._active_process = None
+            self.fail(exc)
+            return
         finally:
             self.env._active_process = None
         if not isinstance(target, Event):

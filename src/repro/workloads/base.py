@@ -6,6 +6,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults.resilience import DISABLED_POLICY, ResiliencePolicy
+from repro.faults.schedule import EMPTY_SCHEDULE, FaultSchedule
 from repro.hw.sku import ServerSku, get_sku
 from repro.oskernel.kernel import KernelVersion, get_kernel
 from repro.uarch.characteristics import WorkloadCharacteristics
@@ -20,6 +22,13 @@ class RunConfig:
     (1.0 = the load that saturates the benchmark's target operating
     point); ``batch`` lets one simulated request represent ``batch``
     production requests for very-high-RPS workloads.
+
+    ``faults`` is the deterministic fault schedule the harness replays
+    during the measurement window and ``resilience`` the client-side
+    policy (deadlines, retries, breaker, hedging) active for the run;
+    both default to no-op so fault-free runs are untouched.
+    ``fault_scenario`` carries the named scenario (if any) for
+    reporting — the schedule/policy pair are what actually executes.
     """
 
     sku_name: str = "SKU2"
@@ -29,6 +38,9 @@ class RunConfig:
     measure_seconds: float = 2.0
     load_scale: float = 1.0
     batch: int = 1
+    faults: FaultSchedule = EMPTY_SCHEDULE
+    resilience: ResiliencePolicy = DISABLED_POLICY
+    fault_scenario: str = ""
 
     def __post_init__(self) -> None:
         if self.warmup_seconds < 0 or self.measure_seconds <= 0:

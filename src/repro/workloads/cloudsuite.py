@@ -27,6 +27,7 @@ scale on modern many-core servers.  These models implement the
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Generator, List, Tuple
 
@@ -78,13 +79,9 @@ class CloudSuiteDataCaching(Workload):
         return self._chars
 
     def run(self, config: RunConfig) -> WorkloadResult:
-        config = RunConfig(
-            sku_name=config.sku_name,
-            kernel_version=config.kernel_version,
-            seed=config.seed,
+        config = dataclasses.replace(
+            config,
             warmup_seconds=min(config.warmup_seconds, 0.3),
-            measure_seconds=config.measure_seconds,
-            load_scale=config.load_scale,
             batch=max(config.batch, DATA_CACHING_BATCH),
         )
         harness = BenchmarkHarness(config, self._chars)

@@ -21,6 +21,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Generator, Optional
 
+from repro.faults.injector import FaultInjector
+from repro.faults.resilience import ResilienceStats, ServiceClient
 from repro.loadgen.generators import Handler, OpenLoopGenerator, Request
 from repro.loadgen.recorder import LatencyRecorder
 from repro.oskernel.kernel import KernelVersion
@@ -121,7 +123,11 @@ class ThreadPool:
             try:
                 yield from work()
             except Exception as exc:  # propagate into the waiter
-                done.fail(exc)
+                if done.callbacks:
+                    done.fail(exc)
+                # No waiter left (the request was abandoned by a
+                # deadline/hedge): swallow the failure instead of
+                # leaving an orphaned failed event to crash the sim.
             else:
                 done.succeed()
                 self.completed += 1
@@ -152,6 +158,39 @@ class BenchmarkHarness:
         self.recorder = LatencyRecorder()
         self.rng = RngStreams(config.seed).spawn(chars.name)
         self.timeline: list = []
+        self.injector: Optional[FaultInjector] = None
+        if config.faults:
+            self.injector = FaultInjector(
+                env=self.env,
+                schedule=config.faults,
+                scheduler=self.scheduler,
+                rng=self.rng.stream("faults"),
+                window_start=config.warmup_seconds,
+                window_seconds=config.measure_seconds,
+                memory_intensity=self._memory_intensity(chars),
+            )
+        self.resilience_stats = ResilienceStats()
+        self.client: Optional[ServiceClient] = None
+        if config.resilience.enabled:
+            self.client = ServiceClient(
+                env=self.env,
+                policy=config.resilience,
+                rng=self.rng.stream("resilience"),
+                injector=self.injector,
+                stats=self.resilience_stats,
+            )
+
+    @staticmethod
+    def _memory_intensity(chars: WorkloadCharacteristics) -> float:
+        """Memory-boundness proxy in [0, 1] for fault severity scaling.
+
+        Workloads with large data working sets and high memory traffic
+        suffer more from memory pressure and cache flushes.
+        """
+        return min(
+            1.0,
+            chars.data_reuse_kb / 4096.0 + chars.mem_refs_per_kinstr / 1200.0,
+        )
 
     # --- burst helpers --------------------------------------------------------
     def burst(
@@ -189,24 +228,64 @@ class BenchmarkHarness:
 
         ``offered_rps`` is in production requests/s; the generator
         issues ``offered_rps / batch`` simulated arrivals per second.
+
+        When the run config carries a resilience policy, every request
+        goes through the :class:`~repro.faults.resilience.ServiceClient`
+        pipeline; when it carries a fault schedule, the injector starts
+        before warmup so fault onsets (fractions of the measurement
+        window) land deterministically.
         """
         generator = OpenLoopGenerator(
             env=self.env,
             rate_rps=offered_rps / self.config.batch,
-            handler=handler,
+            handler=self._wrap_handler(handler),
             recorder=self.recorder,
             rng=self.rng.stream("arrivals"),
             timeout_seconds=timeout_seconds,
         )
+        if self.injector is not None:
+            self.injector.start()
         generator.start()
         self.env.run(until=self.config.warmup_seconds)
         self.recorder.reset()
         self.scheduler.stats.reset(self.env.now)
+        self.resilience_stats.reset()
         self.env.process(self._sampler())
         completed_before = generator.completed
         self.env.run(until=self.config.warmup_seconds + self.config.measure_seconds)
         completed = generator.completed - completed_before
-        return self._assemble(completed)
+        result = self._assemble(completed)
+        self._attach_fault_metrics(result)
+        return result
+
+    def _wrap_handler(self, handler: Handler) -> Handler:
+        """Route requests through the resilience pipeline when enabled."""
+        client = self.client
+        if client is None:
+            return handler
+
+        def resilient_handler(request: Request) -> Generator:
+            yield from client.call(lambda: handler(request))
+
+        return resilient_handler
+
+    def _attach_fault_metrics(self, result: WorkloadResult) -> None:
+        """Surface resilience/fault counters in ``result.extra``."""
+        if self.client is not None:
+            stats = self.resilience_stats
+            result.extra.update(stats.as_extra())
+            result.extra["resilience_goodput_rps"] = (
+                stats.successes * self.config.batch / self.config.measure_seconds
+            )
+            slo = self.client.policy.slo_latency_s
+            result.extra["resilience_slo_latency_s"] = slo
+            result.extra["resilience_slo_compliance"] = self.recorder.fraction_below(
+                slo
+            )
+        if self.injector is not None:
+            result.extra["fault_events_applied"] = float(
+                self.injector.events_applied
+            )
 
     def _sampler(self) -> Generator:
         """Record (time, utilization) samples during measurement."""
@@ -290,7 +369,13 @@ class InstanceSet:
         """Run a serialized slice under the instance's lock (generator)."""
         lock = self._locks[instance]
         grant = lock.request()
-        yield grant
+        try:
+            yield grant
+        except BaseException:
+            # Abandoned while queued for (or just granted) the lock:
+            # release so the slot cannot leak.
+            lock.release(grant)
+            raise
         try:
             seconds = self.serial_seconds(instructions)
             kf = self.harness.chars.kernel_frac

@@ -1,4 +1,6 @@
-"""Operational scenarios: the region-failover load spike (Section 2.3).
+"""Operational scenarios: failover spikes and named fault scenarios.
+
+Region-failover load spike (Section 2.3):
 
 "This situation typically arises when some servers must handle a load
 spike due to another datacenter region failing entirely."  Budgeted
@@ -11,9 +13,12 @@ and its SLO behaviour (does the service survive?).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
+from repro.faults.resilience import ResiliencePolicy
+from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.hw.tco import budgeted_power_w
 from repro.workloads.base import RunConfig, Workload, WorkloadResult
 
@@ -72,14 +77,8 @@ def run_failover_spike(
     spike_multiplier = regions / (regions - 1)
 
     normal = workload.run(config)
-    spiked_config = RunConfig(
-        sku_name=config.sku_name,
-        kernel_version=config.kernel_version,
-        seed=config.seed,
-        warmup_seconds=config.warmup_seconds,
-        measure_seconds=config.measure_seconds,
-        load_scale=config.load_scale * spike_multiplier,
-        batch=config.batch,
+    spiked_config = dataclasses.replace(
+        config, load_scale=config.load_scale * spike_multiplier
     )
     spiked = workload.run(spiked_config)
     return SpikeOutcome(
@@ -91,4 +90,138 @@ def run_failover_spike(
         budgeted_power_w=budgeted_power_w(
             config.sku.designed_power_w, spike_fraction
         ),
+    )
+
+
+# --- Named fault scenarios ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named (fault schedule, resilience policy) pair.
+
+    Scenarios are the user-facing handle for fault injection: a name on
+    the CLI (``--faults brownout``) resolves here, travels on
+    :class:`~repro.exec.spec.RunPoint` as a string, and is digested
+    into the run fingerprint via the registry below — renaming or
+    re-tuning a scenario invalidates cached results, exactly as a code
+    change would.
+    """
+
+    name: str
+    description: str
+    schedule: FaultSchedule
+    policy: ResiliencePolicy
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "schedule": self.schedule.as_dict(),
+            "policy": self.policy.as_dict(),
+        }
+
+
+#: Scenario registry.  Onsets/durations are fractions of the
+#: measurement window, so scenarios are meaningful at any
+#: ``measure_seconds``.
+FAULT_SCENARIOS: Dict[str, FaultScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        FaultScenario(
+            name="brownout",
+            description=(
+                "Thermal brownout: the clock loses 35% for half the "
+                "window while a co-tenant leans on the memory subsystem."
+            ),
+            schedule=FaultSchedule.of(
+                FaultSpec("freq_throttle", 0.20, 0.50, 0.35),
+                FaultSpec("mem_pressure", 0.40, 0.40, 0.50),
+            ),
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=1,
+                hedge_delay_s=0.0,
+                slo_latency_s=0.1,
+            ),
+        ),
+        FaultScenario(
+            name="blackout",
+            description=(
+                "Crash-restart: the server refuses work for 15% of the "
+                "window; clients ride it out with retries and a breaker."
+            ),
+            schedule=FaultSchedule.of(
+                FaultSpec("server_crash", 0.30, 0.15),
+            ),
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=3,
+                backoff_base_s=0.01,
+                breaker_failure_threshold=20,
+                breaker_reset_s=0.1,
+                slo_latency_s=0.1,
+            ),
+        ),
+        FaultScenario(
+            name="flaky_network",
+            description=(
+                "Lossy, slow network: 2ms extra latency and 5% attempt "
+                "loss for most of the window; hedging covers the tail."
+            ),
+            schedule=FaultSchedule.of(
+                FaultSpec("net_latency", 0.20, 0.70, 0.002),
+                FaultSpec("net_loss", 0.20, 0.70, 0.05),
+            ),
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=2,
+                hedge_delay_s=0.02,
+                slo_latency_s=0.1,
+            ),
+        ),
+        FaultScenario(
+            name="noisy_neighbor",
+            description=(
+                "Co-tenant interference: a 1.6x slowdown through the "
+                "middle of the window plus a cache flush at its center."
+            ),
+            schedule=FaultSchedule.of(
+                FaultSpec("server_slowdown", 0.25, 0.50, 1.6),
+                FaultSpec("cache_flush", 0.50, 0.20, 0.40),
+            ),
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=1,
+                slo_latency_s=0.1,
+            ),
+        ),
+    )
+}
+
+
+def fault_scenario_names() -> Tuple[str, ...]:
+    """Registered scenario names, sorted for stable CLI help/digests."""
+    return tuple(sorted(FAULT_SCENARIOS))
+
+
+def get_fault_scenario(name: str) -> FaultScenario:
+    """Look up a scenario by name, with a helpful error."""
+    try:
+        return FAULT_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(fault_scenario_names())
+        raise KeyError(
+            f"unknown fault scenario {name!r}; known scenarios: {known}"
+        ) from None
+
+
+def apply_fault_scenario(config: RunConfig, name: str) -> RunConfig:
+    """Return ``config`` with the named scenario's schedule and policy."""
+    scenario = get_fault_scenario(name)
+    return dataclasses.replace(
+        config,
+        faults=scenario.schedule,
+        resilience=scenario.policy,
+        fault_scenario=scenario.name,
     )

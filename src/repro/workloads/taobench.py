@@ -19,6 +19,7 @@ reproducible here.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Generator, Optional
 
@@ -75,15 +76,7 @@ class TaoBench(Workload):
 
     def run(self, config: RunConfig) -> WorkloadResult:
         if config.batch == 1:
-            config = RunConfig(
-                sku_name=config.sku_name,
-                kernel_version=config.kernel_version,
-                seed=config.seed,
-                warmup_seconds=config.warmup_seconds,
-                measure_seconds=config.measure_seconds,
-                load_scale=config.load_scale,
-                batch=DEFAULT_BATCH,
-            )
+            config = dataclasses.replace(config, batch=DEFAULT_BATCH)
         harness = BenchmarkHarness(config, self._chars)
         env = harness.env
         cores = config.sku.cpu.logical_cores

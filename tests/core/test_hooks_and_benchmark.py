@@ -68,6 +68,34 @@ class TestHookRegistry:
         assert "counting" in report.hook_sections
         assert report.hook_sections["counting"]["throughput"] > 0
 
+    def test_failing_hook_is_non_fatal(self):
+        """A broken monitoring plugin must not lose the benchmark
+        result: its section is marked failed, the rest still report."""
+
+        class ExplodingHook(Hook):
+            name = "exploding"
+
+            def after_run(self, ctx, result):
+                raise RuntimeError("monitoring backend unreachable")
+
+        class FineHook(Hook):
+            name = "fine"
+
+            def after_run(self, ctx, result):
+                return {"ok": True}
+
+        registry = HookRegistry([ExplodingHook(), FineHook()])
+        bench = Benchmark.by_name("taobench")
+        report = bench.run(
+            RunConfig(sku_name="SKU2", warmup_seconds=0.2, measure_seconds=0.4),
+            hooks=registry,
+        )
+        assert report.metric_value > 0
+        failed = report.hook_sections["exploding"]
+        assert failed["hook_failed"] is True
+        assert "monitoring backend unreachable" in failed["error"]
+        assert report.hook_sections["fine"] == {"ok": True}
+
 
 class TestBuiltinHookSections(object):
     def test_cpu_util_section(self, taobench_report):

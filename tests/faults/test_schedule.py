@@ -1,0 +1,128 @@
+"""Tests for fault specs, schedules, and the scenario registry."""
+
+import pytest
+
+from repro.faults.schedule import (
+    EMPTY_SCHEDULE,
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    merge,
+)
+from repro.workloads.scenarios import (
+    FAULT_SCENARIOS,
+    apply_fault_scenario,
+    fault_scenario_names,
+    get_fault_scenario,
+)
+from repro.workloads.base import RunConfig
+
+
+class TestFaultSpec:
+    def test_valid_spec(self):
+        spec = FaultSpec("server_slowdown", 0.1, 0.5, 2.0)
+        assert spec.kind == "server_slowdown"
+        assert spec.start_frac == 0.1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor_strike", 0.1, 0.5)
+
+    def test_start_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("server_crash", 1.0, 0.1)
+        with pytest.raises(ValueError):
+            FaultSpec("server_crash", -0.1, 0.1)
+
+    def test_fault_must_end_within_window(self):
+        with pytest.raises(ValueError):
+            FaultSpec("server_crash", 0.8, 0.5)
+        with pytest.raises(ValueError):
+            FaultSpec("server_crash", 0.2, 0.0)
+
+    def test_slowdown_magnitude_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec("server_slowdown", 0.1, 0.2, 0.9)
+
+    def test_fraction_kinds_bounded_below_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec("freq_throttle", 0.1, 0.2, 1.0)
+        with pytest.raises(ValueError):
+            FaultSpec("net_loss", 0.1, 0.2, 1.5)
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec("net_latency", 0.25, 0.5, 0.003)
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            magnitude = 1.5 if kind == "server_slowdown" else 0.5
+            FaultSpec(kind, 0.1, 0.3, magnitude)
+
+
+class TestFaultSchedule:
+    def test_empty_is_falsy(self):
+        assert not EMPTY_SCHEDULE
+        assert len(EMPTY_SCHEDULE) == 0
+        assert bool(FaultSchedule.of(FaultSpec("server_crash", 0.1, 0.2)))
+
+    def test_sorted_by_start(self):
+        schedule = FaultSchedule.of(
+            FaultSpec("server_crash", 0.5, 0.2),
+            FaultSpec("net_loss", 0.1, 0.2, 0.1),
+        )
+        starts = [f.start_frac for f in schedule.sorted_by_start()]
+        assert starts == sorted(starts)
+
+    def test_dict_roundtrip(self):
+        schedule = FaultSchedule.of(
+            FaultSpec("mem_pressure", 0.2, 0.3, 0.5),
+            FaultSpec("net_latency", 0.4, 0.2, 0.001),
+        )
+        assert FaultSchedule.from_dict(schedule.as_dict()) == schedule
+
+    def test_schedules_hashable(self):
+        a = FaultSchedule.of(FaultSpec("server_crash", 0.1, 0.2))
+        b = FaultSchedule.of(FaultSpec("server_crash", 0.1, 0.2))
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_merge(self):
+        a = FaultSchedule.of(FaultSpec("server_crash", 0.1, 0.2))
+        b = FaultSchedule.of(FaultSpec("net_loss", 0.3, 0.2, 0.1))
+        merged = merge([a, b])
+        assert len(merged) == 2
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_present(self):
+        assert {"brownout", "blackout", "flaky_network", "noisy_neighbor"} <= set(
+            fault_scenario_names()
+        )
+
+    def test_every_scenario_well_formed(self):
+        for name, scenario in FAULT_SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.schedule  # non-empty
+            assert scenario.policy.enabled
+            assert scenario.description
+            # as_dict must be JSON-serializable for fingerprinting.
+            import json
+
+            json.dumps(scenario.as_dict(), sort_keys=True)
+
+    def test_unknown_scenario_helpful_error(self):
+        with pytest.raises(KeyError, match="known scenarios"):
+            get_fault_scenario("nope")
+
+    def test_apply_fault_scenario(self):
+        config = apply_fault_scenario(RunConfig(), "blackout")
+        assert config.fault_scenario == "blackout"
+        assert config.faults
+        assert config.resilience.enabled
+
+    def test_default_config_fault_free(self):
+        config = RunConfig()
+        assert not config.faults
+        assert not config.resilience.enabled
+        assert config.fault_scenario == ""

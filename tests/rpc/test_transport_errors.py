@@ -1,0 +1,104 @@
+"""Error-path tests for the framed transport: truncation, zero-length
+and boundary frames, and recovery after a framing violation."""
+
+import pytest
+
+from repro.rpc.transport import (
+    FramedTransport,
+    InMemoryChannel,
+    MAX_FRAME_BYTES,
+    TransportError,
+)
+
+
+class TestTruncation:
+    def test_truncated_header_yields_nothing(self):
+        t = FramedTransport()
+        t.feed(b"\x00\x00\x00")  # 3 of 4 header bytes
+        assert t.next_frame() is None
+        assert t.buffered_bytes == 3
+
+    def test_truncated_body_retains_buffer(self):
+        wire = FramedTransport.frame(b"abcdef")
+        t = FramedTransport()
+        t.feed(wire[:-2])  # header promises 6 bytes, only 4 arrived
+        assert t.next_frame() is None
+        assert t.buffered_bytes == len(wire) - 2
+        t.feed(wire[-2:])
+        assert t.next_frame() == b"abcdef"
+        assert t.buffered_bytes == 0
+
+    def test_repeated_polls_on_truncated_frame_are_stable(self):
+        t = FramedTransport()
+        t.feed(FramedTransport.frame(b"xyz")[:5])
+        for _ in range(3):
+            assert t.next_frame() is None
+        assert t.buffered_bytes == 5
+
+
+class TestBoundaries:
+    def test_zero_length_frame(self):
+        t = FramedTransport()
+        t.feed(FramedTransport.frame(b""))
+        assert t.next_frame() == b""
+        assert t.next_frame() is None
+
+    def test_frame_at_exact_limit_allowed(self):
+        payload = b"x" * MAX_FRAME_BYTES
+        t = FramedTransport()
+        t.feed(FramedTransport.frame(payload))
+        assert t.next_frame() == payload
+
+    def test_send_rejects_before_wire(self):
+        with pytest.raises(TransportError, match="exceeds max"):
+            FramedTransport.frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    def test_error_is_exception_subclass(self):
+        # Callers catching broad Exception (not BaseException) must see
+        # framing violations.
+        assert issubclass(TransportError, Exception)
+        assert not issubclass(TransportError, (KeyboardInterrupt, SystemExit))
+
+
+class TestViolationHandling:
+    def test_oversized_header_raises_every_poll(self):
+        t = FramedTransport()
+        t.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(TransportError, match="too large"):
+            t.next_frame()
+        # The poison header stays buffered: the connection is dead, and
+        # silently resynchronizing mid-stream would corrupt framing.
+        with pytest.raises(TransportError):
+            t.next_frame()
+
+    def test_fresh_transport_unaffected_by_peer_violation(self):
+        bad = FramedTransport()
+        bad.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(TransportError):
+            bad.next_frame()
+        good = FramedTransport()
+        good.feed(FramedTransport.frame(b"ok"))
+        assert good.next_frame() == b"ok"
+
+
+class TestChannelEdgeCases:
+    def test_chunks_preserve_boundaries_and_order(self):
+        ch = InMemoryChannel()
+        ch.send_a(b"one")
+        ch.send_a(b"two")
+        assert ch.recv_b() == b"one"
+        assert ch.recv_b() == b"two"
+        assert ch.recv_b() is None
+
+    def test_empty_send_counts_zero_bytes(self):
+        ch = InMemoryChannel()
+        ch.send_a(b"")
+        assert ch.bytes_sent_a == 0
+        assert ch.recv_b() == b""
+        assert ch.recv_b() is None
+
+    def test_directions_are_independent(self):
+        ch = InMemoryChannel()
+        ch.send_a(b"to-b")
+        assert ch.recv_a() is None  # A's inbox only sees B's sends
+        assert ch.recv_b() == b"to-b"

@@ -46,4 +46,39 @@ print(f"smoke sweep ok: {stats.executed} executed in "
       f"{stats.elapsed_seconds:.1f}s, warm rerun fully cached")
 EOF
 
+echo "== fault-scenario smoke (deterministic replay) =="
+python - <<'EOF'
+import json
+
+from repro.exec.executor import SweepExecutor
+from repro.exec.spec import RunPoint
+
+point = RunPoint(benchmark="taobench", sku="SKU2", seed=11,
+                 measure_seconds=0.5, warmup_seconds=0.2,
+                 faults="blackout")
+
+def sweep(workers, use_cache):
+    executor = SweepExecutor(max_workers=workers, use_cache=use_cache)
+    # Two points so the pooled path actually engages at workers=2.
+    clean = RunPoint(benchmark="taobench", sku="SKU2", seed=11,
+                     measure_seconds=0.5, warmup_seconds=0.2)
+    reports = executor.run([point, clean])
+    return [json.dumps(r.as_dict(), sort_keys=True) for r in reports]
+
+first = sweep(1, use_cache=False)
+replay = sweep(1, use_cache=False)
+pooled = sweep(2, use_cache=False)
+assert first == replay, "fault scenario replay is not deterministic"
+assert first == pooled, "parallel fault run diverged from serial"
+
+faulted = json.loads(first[0])
+section = faulted["hooks"]["resilience"]
+assert section["enabled"] and section["scenario"] == "blackout"
+assert section["requests"] > 0 and section["fault_events_applied"] >= 1
+assert json.loads(first[1])["hooks"]["resilience"] == {"enabled": False}
+print("fault smoke ok: blackout replay byte-identical "
+      f"(serial x2 + 2-worker pool), error_rate={section['error_rate']:.3f}, "
+      f"slo={section['slo_compliance_pct']:.1f}%")
+EOF
+
 echo "== verify ok =="
