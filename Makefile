@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench report clean-cache
+.PHONY: test verify bench bench-sweep report clean-cache
 
 # Fast path: just the unit suite.
 test:
@@ -12,7 +12,13 @@ test:
 verify:
 	sh tools/ci.sh
 
+# Engine hot-path microbenchmarks (short windows; see BENCH_engine.json
+# for the recorded before/after numbers).
 bench:
+	PYTHONPATH=src $(PYTHON) tools/bench_engine.py --quick
+
+# End-to-end sweep benchmark (cold vs warm cache, serial vs pooled).
+bench-sweep:
 	PYTHONPATH=src $(PYTHON) tools/bench_sweep.py
 
 report:

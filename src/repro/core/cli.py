@@ -92,6 +92,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kernel_version=args.kernel,
         seed=args.seed,
         measure_seconds=args.measure_seconds,
+        early_stop=not args.no_early_stop,
     )
     if args.faults:
         config = apply_fault_scenario(config, args.faults)
@@ -133,6 +134,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         measure_seconds=args.measure_seconds,
         executor=_suite_executor(args),
         faults=args.faults or "",
+        early_stop=not args.no_early_stop,
     )
     if args.faults:
         scenario = get_fault_scenario(args.faults)
@@ -254,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=fault_scenario_names(),
         help="inject a named fault scenario during the run",
     )
+    p_run.add_argument(
+        "--no-early-stop",
+        action="store_true",
+        help="always measure the full window instead of stopping once "
+        "latency windows converge (slower, byte-stable reports)",
+    )
     p_run.add_argument("--json", help="write the report to this JSON file")
     p_run.set_defaults(func=_cmd_run)
 
@@ -287,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=fault_scenario_names(),
         help="run the whole suite (baseline included) under a named "
         "fault scenario; adds SLO/error columns to the output",
+    )
+    p_suite.add_argument(
+        "--no-early-stop",
+        action="store_true",
+        help="always measure the full window instead of stopping once "
+        "latency windows converge (slower, byte-stable reports)",
     )
     p_suite.add_argument("--json", help="write the report to this JSON file")
     p_suite.set_defaults(func=_cmd_suite)

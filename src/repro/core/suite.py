@@ -76,6 +76,7 @@ class DCPerfSuite:
         max_workers: int = 1,
         cache: Optional[RunCache] = None,
         faults: str = "",
+        early_stop: bool = False,
     ) -> None:
         self.benchmark_names = benchmark_names or dcperf_benchmarks()
         #: '' for the DCPerf benchmarks, ':prod' for production twins.
@@ -87,6 +88,10 @@ class DCPerfSuite:
         #: and fault-free baselines can never cross-contaminate (the
         #: scenario is part of each point's fingerprint).
         self.faults = faults
+        #: Convergence-based early termination for every point.  Part
+        #: of the run fingerprint, so early-stopped sweeps and
+        #: full-window sweeps cache separately and baselines never mix.
+        self.early_stop = early_stop
         self.executor = executor or SweepExecutor(
             max_workers=max_workers, cache=cache
         )
@@ -100,6 +105,7 @@ class DCPerfSuite:
             variant=self.variant,
             measure_seconds=self.measure_seconds,
             faults=self.faults,
+            early_stop=self.early_stop,
         )
 
     def _baseline_key(self, name: str, kernel: str, seed: int) -> str:

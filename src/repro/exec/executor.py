@@ -57,6 +57,20 @@ def _pool_worker(payload: Dict[str, object]) -> Dict[str, object]:
     return _run_point_payload(RunPoint.from_dict(payload))
 
 
+def _pool_worker_chunk(
+    payloads: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Chunked worker: several points per task to amortize pool IPC.
+
+    A suite sweep is dozens of sub-second points; submitting each as
+    its own task spends a measurable fraction of the sweep on pickling,
+    queue round-trips, and future bookkeeping.  One task per chunk cuts
+    that overhead by the chunk length while the chunks themselves still
+    load-balance across workers.
+    """
+    return [_run_point_payload(RunPoint.from_dict(p)) for p in payloads]
+
+
 def execute_point(point: RunPoint) -> BenchmarkReport:
     """Run one point in-process, normalized through the codec."""
     return report_from_dict(_run_point_payload(point))
@@ -215,6 +229,13 @@ class SweepExecutor:
         from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
         from concurrent.futures import TimeoutError as FutureTimeout
 
+        if self.point_timeout_s is None:
+            # No per-point deadline to enforce, so points can ride in
+            # chunks — far fewer pool round-trips for the same work.
+            # (A timeout needs one future per point to know *which*
+            # point blew the budget, so that path stays unchunked.)
+            return self._run_pooled_chunks(todo, workers)
+
         completed: Dict[str, Dict[str, object]] = {}
         lost: List[Tuple[str, RunPoint]] = []
         timeouts = 0
@@ -248,3 +269,52 @@ class SweepExecutor:
             # started and let stragglers die with their processes.
             pool.shutdown(wait=False, cancel_futures=True)
         return completed, lost, timeouts
+
+    def _run_pooled_chunks(
+        self, todo: Sequence[Tuple[str, RunPoint]], workers: int
+    ) -> Tuple[Dict[str, Dict[str, object]], List[Tuple[str, RunPoint]], int]:
+        """Chunked fan-out: several points per pool task, no deadline.
+
+        Chunks are sized for ~4 tasks per worker — small enough that a
+        slow chunk cannot idle the pool for long, large enough to
+        amortize submission overhead.  Cache writes stay per point (a
+        killed sweep keeps every point of every finished chunk).  A
+        worker crash loses only the chunks not yet collected; the
+        caller re-runs those points in-process.
+        """
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+        chunk_size = max(1, -(-len(todo) // (workers * 4)))  # ceil division
+        chunks = [
+            list(todo[i : i + chunk_size])
+            for i in range(0, len(todo), chunk_size)
+        ]
+        completed: Dict[str, Dict[str, object]] = {}
+        lost: List[Tuple[str, RunPoint]] = []
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = [
+                (
+                    chunk,
+                    pool.submit(
+                        _pool_worker_chunk, [p.as_dict() for _, p in chunk]
+                    ),
+                )
+                for chunk in chunks
+            ]
+            broken = False
+            for chunk, future in futures:
+                if broken:
+                    lost.extend(chunk)
+                    continue
+                try:
+                    payloads = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    lost.extend(chunk)
+                else:
+                    for (fp, point), payload in zip(chunk, payloads):
+                        completed[fp] = self._finish_point(fp, point, payload)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return completed, lost, 0

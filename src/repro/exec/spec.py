@@ -25,7 +25,9 @@ from repro.workloads.base import RunConfig
 #: changes (not needed for model/code edits — those are digested).
 #: 2: RunPoint grew the ``faults`` scenario field and the model digest
 #: now covers the fault-scenario registry.
-CACHE_SCHEMA_VERSION = 2
+#: 3: RunPoint grew the ``early_stop`` field (convergence-based early
+#: termination of the measurement window).
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True, order=True)
@@ -44,6 +46,11 @@ class RunPoint:
     #: Named fault scenario ("" = fault-free).  Stored as the name so
     #: points stay hashable/serializable; resolved in :meth:`run_config`.
     faults: str = ""
+    #: End the measurement window early once latency windows converge
+    #: (deterministic; see ConvergenceMonitor).  Part of the cache key:
+    #: early-stopped reports are not interchangeable with full-window
+    #: ones.
+    early_stop: bool = False
 
     @property
     def workload_name(self) -> str:
@@ -59,6 +66,7 @@ class RunPoint:
             measure_seconds=self.measure_seconds,
             load_scale=self.load_scale,
             batch=self.batch,
+            early_stop=self.early_stop,
         )
         if self.faults:
             from repro.workloads.scenarios import apply_fault_scenario

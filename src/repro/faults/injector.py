@@ -95,9 +95,9 @@ class FaultInjector:
         duration = fault.duration_frac * self.window_seconds
         delay = start - self.env.now
         if delay > 0:
-            yield self.env.timeout(delay)
+            yield self.env.sleep(delay)
         self._apply(index, fault)
-        yield self.env.timeout(duration)
+        yield self.env.sleep(duration)
         self._revert(index, fault)
 
     # -- effect application ----------------------------------------------------

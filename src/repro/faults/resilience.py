@@ -247,7 +247,7 @@ class ServiceClient:
             )
             backoff *= 1.0 + policy.jitter_frac * self.rng.random()
             if backoff > 0:
-                yield self.env.timeout(backoff)
+                yield self.env.sleep(backoff)
 
     # -- internals -------------------------------------------------------------
     def _classify(self, exc: FaultError) -> None:
@@ -265,7 +265,7 @@ class ServiceClient:
         if injector is not None:
             delay = injector.net_delay_s
             if delay > 0:
-                yield self.env.timeout(delay)
+                yield self.env.sleep(delay)
             if injector.drops_attempt():
                 raise NetworkLossError("request dropped by network fault")
         yield from work()

@@ -16,20 +16,45 @@ searches use it.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Optional
 
 from repro.loadgen.recorder import LatencyRecorder
 from repro.sim.engine import Environment
+from repro.sim.rng import exponential_batch
 
 
-@dataclass
 class Request:
-    """One request flowing through a workload model."""
+    """One request flowing through a workload model.
 
-    request_id: int
-    created_at: float
-    metadata: Dict[str, Any] = field(default_factory=dict)
+    ``metadata`` is materialized on first touch: most handlers never
+    look at it, and the steady-state request path should not pay a dict
+    allocation per arrival.
+    """
+
+    __slots__ = ("request_id", "created_at", "_metadata")
+
+    def __init__(
+        self,
+        request_id: int,
+        created_at: float,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.request_id = request_id
+        self.created_at = created_at
+        self._metadata = metadata
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        md = self._metadata
+        if md is None:
+            md = self._metadata = {}
+        return md
+
+    def __repr__(self) -> str:
+        return (
+            f"Request(request_id={self.request_id}, "
+            f"created_at={self.created_at}, metadata={self._metadata})"
+        )
 
 
 #: Handler signature: a generator that completes when the response is sent.
@@ -42,7 +67,35 @@ class OpenLoopGenerator:
     ``batch`` lets one simulated request stand for ``batch`` production
     requests (service times must already include the batch factor);
     reported request counts are simulation-level.
+
+    A single dispatcher process drives all arrivals: inter-arrival gaps
+    are pre-sampled in batches of :attr:`SAMPLE_BATCH` (same RNG draw
+    order as one-at-a-time sampling, so traces are byte-identical) and
+    each wait uses the engine's recycled ``sleep`` timeouts, so steady
+    state allocates no timer objects.
+
+    ``on_complete``, when set, is called after every finished request
+    with its latency in seconds (``None`` for errors) — the hook the
+    harness's convergence monitor uses for deterministic early
+    termination.
     """
+
+    #: Inter-arrival gaps pre-sampled per RNG refill.
+    SAMPLE_BATCH = 256
+
+    __slots__ = (
+        "env",
+        "rate_rps",
+        "handler",
+        "recorder",
+        "rng",
+        "timeout_seconds",
+        "on_complete",
+        "issued",
+        "completed",
+        "_process",
+        "_record",
+    )
 
     def __init__(
         self,
@@ -52,6 +105,7 @@ class OpenLoopGenerator:
         recorder: LatencyRecorder,
         rng: random.Random,
         timeout_seconds: Optional[float] = None,
+        on_complete: Optional[Callable[[Optional[float]], None]] = None,
     ) -> None:
         if rate_rps <= 0:
             raise ValueError("rate_rps must be positive")
@@ -61,22 +115,33 @@ class OpenLoopGenerator:
         self.recorder = recorder
         self.rng = rng
         self.timeout_seconds = timeout_seconds
+        self.on_complete = on_complete
         self.issued = 0
         self.completed = 0
         self._process = None
+        self._record = recorder.record
 
     def start(self) -> None:
         self._process = self.env.process(self._arrival_loop())
 
     def _arrival_loop(self) -> Generator:
+        env = self.env
+        sleep = env.sleep
+        process = env.process
+        dispatch = self._dispatch
+        rng = self.rng
+        rate = self.rate_rps
+        batch = self.SAMPLE_BATCH
         while True:
-            yield self.env.timeout(self.rng.expovariate(self.rate_rps))
-            request = Request(request_id=self.issued, created_at=self.env.now)
-            self.issued += 1
-            self.env.process(self._dispatch(request))
+            for gap in exponential_batch(rng, rate, batch):
+                yield sleep(gap)
+                request = Request(self.issued, env.now)
+                self.issued += 1
+                process(dispatch(request))
 
     def _dispatch(self, request: Request) -> Generator:
-        start = self.env.now
+        env = self.env
+        start = env.now
         try:
             yield from self.handler(request)
         except Exception:
@@ -84,13 +149,19 @@ class OpenLoopGenerator:
             # request error, not a simulation crash.
             self.recorder.record_error()
             self.completed += 1
+            if self.on_complete is not None:
+                self.on_complete(None)
             return
-        latency = self.env.now - start
+        latency = env.now - start
         if self.timeout_seconds is not None and latency > self.timeout_seconds:
             self.recorder.record_error()
+            latency = None
         else:
-            self.recorder.record(latency)
+            self._record(latency)
         self.completed += 1
+        on_complete = self.on_complete
+        if on_complete is not None:
+            on_complete(latency)
 
 
 class ClosedLoopGenerator:
@@ -124,9 +195,13 @@ class ClosedLoopGenerator:
             self.env.process(self._client_loop())
 
     def _client_loop(self) -> Generator:
+        # Think times are *not* pre-sampled in batches here: all clients
+        # interleave draws from one shared stream in event order, so
+        # per-client batching would reorder the stream and change the
+        # trace.  The recycled sleep still avoids per-wait allocations.
         while True:
             if self.think_time_seconds > 0:
-                yield self.env.timeout(
+                yield self.env.sleep(
                     self.rng.expovariate(1.0 / self.think_time_seconds)
                 )
             request = Request(request_id=self.issued, created_at=self.env.now)

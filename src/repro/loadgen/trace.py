@@ -211,7 +211,7 @@ class TraceReplayGenerator:
     def _replay_loop(self) -> Generator:
         while True:
             for record in self.trace.records:
-                yield self.env.timeout(record.inter_arrival_s * self.time_scale)
+                yield self.env.sleep(record.inter_arrival_s * self.time_scale)
                 request = Request(
                     request_id=self.issued,
                     created_at=self.env.now,

@@ -146,7 +146,7 @@ class CpuScheduler:
         duration = (user_seconds + kernel_seconds) / speedup + overhead
         duration *= self.fault_slowdown
         try:
-            yield self.env.timeout(duration)
+            yield self.env.sleep(duration)
         finally:
             self.cores.release(request)
             self.stats.busy_seconds += duration

@@ -215,7 +215,7 @@ class AiBench(Workload):
                 pool.submit(lambda b=batch: self.run_batch(b))
 
             def batch_timer(self) -> Generator:
-                yield env.timeout(BATCH_TIMEOUT_S)
+                yield env.sleep(BATCH_TIMEOUT_S)
                 if self.batch_open and self.pending:
                     self.flush()
 

@@ -29,6 +29,15 @@ class RunConfig:
     both default to no-op so fault-free runs are untouched.
     ``fault_scenario`` carries the named scenario (if any) for
     reporting — the schedule/policy pair are what actually executes.
+
+    ``early_stop`` lets the harness end the measurement window early
+    once the windowed latency means have converged (a deterministic,
+    completion-count-based test — see
+    :class:`~repro.workloads.runner.ConvergenceMonitor`).  It defaults
+    to off so directly constructed configs reproduce the full fixed
+    window byte-for-byte; the CLI and sweep tools enable it unless
+    ``--no-early-stop`` is given.  Fault-injection runs never stop
+    early: their windows are deliberately non-stationary.
     """
 
     sku_name: str = "SKU2"
@@ -41,6 +50,7 @@ class RunConfig:
     faults: FaultSchedule = EMPTY_SCHEDULE
     resilience: ResiliencePolicy = DISABLED_POLICY
     fault_scenario: str = ""
+    early_stop: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup_seconds < 0 or self.measure_seconds <= 0:

@@ -111,7 +111,7 @@ class CloudSuiteDataCaching(Workload):
                 start = env.now
                 cache = caches[shard]
                 if cache.get(key) is None:
-                    yield env.timeout(0.001)
+                    yield env.sleep(0.001)
                     cache.fill(key, key.encode() * 8)
                 # Spin until the instance's serialized section is free.
                 lock = instance_locks[shard]
@@ -213,7 +213,7 @@ class CloudSuiteWebServing(Workload):
             try:
                 if env.now - start > GATEWAY_TIMEOUT_S:
                     raise TimeoutError("504 Gateway Timeout")
-                yield env.timeout(db_rng.expovariate(1.0 / DB_TIME_MEAN_S))
+                yield env.sleep(db_rng.expovariate(1.0 / DB_TIME_MEAN_S))
             finally:
                 db_pool.release(conn)
             yield from harness.burst(instr * (1.0 - PRE_DB_INSTR_FRACTION))
@@ -366,7 +366,7 @@ class CloudSuiteInMemoryAnalytics(Workload):
         def sampler() -> Generator:
             while not finished[0]:
                 harness.scheduler.stats.reset(env.now)
-                yield env.timeout(sample_period_s)
+                yield env.sleep(sample_period_s)
                 samples.append(
                     (env.now, harness.scheduler.stats.cpu_util(env.now, cores))
                 )

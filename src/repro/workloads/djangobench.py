@@ -86,7 +86,7 @@ class DjangoBench(Workload):
             cached = object_cache.get(key)
             trips = db_trips if cached is None else max(0, db_trips - 1)
             for _ in range(trips):
-                yield env.timeout(
+                yield env.sleep(
                     db_rng.expovariate(1.0 / CASSANDRA_LATENCY_MEAN_S)
                 )
             if cached is None:

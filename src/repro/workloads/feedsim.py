@@ -85,7 +85,7 @@ class FeedSim(Workload):
             # co-loaded with the serving tier.
             occupancy = sched.cores.count / sched.logical_cores
             congestion = 1.0 + LEAF_IO_CONGESTION * occupancy * occupancy
-            yield env.timeout(
+            yield env.sleep(
                 lognormal_from_mean_cv(io_rng, LEAF_IO_MEAN_S, LEAF_IO_CV)
                 * congestion
             )

@@ -97,7 +97,7 @@ class MediaWiki(Workload):
                 if cached is None:
                     # Render from the database and fill the cache.
                     for _ in range(db_trips):
-                        yield env.timeout(
+                        yield env.sleep(
                             db_rng.expovariate(1.0 / DB_LATENCY_MEAN_S)
                         )
                     page_cache.set(key, b"<html>" + key.encode() * PAGE_FRAGMENT_REPEAT)
@@ -106,7 +106,7 @@ class MediaWiki(Workload):
                     yield from harness.burst(instr * instr_mult * 0.9)
             else:
                 for _ in range(db_trips):
-                    yield env.timeout(db_rng.expovariate(1.0 / DB_LATENCY_MEAN_S))
+                    yield env.sleep(db_rng.expovariate(1.0 / DB_LATENCY_MEAN_S))
                 yield from harness.burst(instr * instr_mult)
 
         def handler(request: Request) -> Generator:

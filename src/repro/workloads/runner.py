@@ -18,8 +18,9 @@ responsibilities:
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Generator, Optional
+from typing import Callable, Deque, Dict, Generator, Optional
 
 from repro.faults.injector import FaultInjector
 from repro.faults.resilience import ResilienceStats, ServiceClient
@@ -29,7 +30,7 @@ from repro.oskernel.kernel import KernelVersion
 from repro.oskernel.scheduler import CpuScheduler
 from repro.hw.sku import ServerSku
 from repro.sim.engine import Environment, Event
-from repro.sim.resources import Resource, Store
+from repro.sim.resources import Resource
 from repro.sim.rng import RngStreams
 from repro.uarch.characteristics import WorkloadCharacteristics
 from repro.uarch.projection import ProjectionEngine, SteadyState
@@ -83,6 +84,121 @@ class ServerModel:
         )
 
 
+class ConvergenceMonitor:
+    """Deterministic steady-state detector over completion-count windows.
+
+    Groups successful completions into fixed-size windows of
+    :attr:`WINDOW` requests, keeps the mean latency of the last
+    :attr:`WINDOWS` windows, and declares convergence when their
+    coefficient of variation drops below :attr:`COV_THRESHOLD`.  The
+    test depends only on the completion sequence — never on wall time —
+    so two runs of the same seed stop at the same simulated instant.
+
+    Errors and timed-out requests (latency ``None``) do not count
+    toward a window: a fault-degraded stretch keeps windows open rather
+    than converging on garbage.  Fault-injection runs skip the monitor
+    entirely (their measurement windows are deliberately
+    non-stationary).
+    """
+
+    #: Successful completions per window.
+    WINDOW = 200
+    #: Trailing windows whose means must agree.
+    WINDOWS = 5
+    #: Coefficient-of-variation threshold for "converged".
+    COV_THRESHOLD = 0.04
+
+    __slots__ = (
+        "env",
+        "window",
+        "threshold",
+        "_sum",
+        "_count",
+        "_means",
+        "windows_closed",
+        "converged_at",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        window: int = WINDOW,
+        windows: int = WINDOWS,
+        threshold: float = COV_THRESHOLD,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if windows < 2:
+            raise ValueError("windows must be >= 2")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.env = env
+        self.window = window
+        self.threshold = threshold
+        self._sum = 0.0
+        self._count = 0
+        self._means: Deque[float] = deque(maxlen=windows)
+        self.windows_closed = 0
+        self.converged_at: Optional[float] = None
+
+    def on_complete(self, latency: Optional[float]) -> None:
+        """Generator completion hook; stops the run once converged."""
+        if latency is None or self.converged_at is not None:
+            return
+        self._sum += latency
+        self._count += 1
+        if self._count < self.window:
+            return
+        means = self._means
+        means.append(self._sum / self._count)
+        self._sum = 0.0
+        self._count = 0
+        self.windows_closed += 1
+        if len(means) < means.maxlen:
+            return
+        mean = sum(means) / len(means)
+        if mean <= 0.0:
+            return
+        variance = sum((m - mean) ** 2 for m in means) / len(means)
+        if variance ** 0.5 / mean < self.threshold:
+            self.converged_at = self.env.now
+            self.env.stop()
+
+
+class _WorkerDock:
+    """Parking lot for idle pool workers, yieldable like an event.
+
+    A worker that yields the dock never schedules anything: the process
+    machinery appends its resume callback here, and :meth:`append`
+    either hands it a backlogged item immediately or files it as idle.
+    ``submit`` wakes idle workers the same way.  Every handoff is one
+    recycled resume entry through the engine's freelist — no ``Store``
+    events, no allocations at steady state.
+    """
+
+    __slots__ = ("pool", "idle")
+
+    def __init__(self, pool: "ThreadPool") -> None:
+        self.pool = pool
+        self.idle: Deque[Callable] = deque()
+
+    @property
+    def callbacks(self) -> "_WorkerDock":
+        # Ducks as Event.callbacks so a process can yield the dock.
+        return self
+
+    def append(self, resume: Callable) -> None:
+        pool = self.pool
+        if pool._backlog:
+            pool.env._schedule_resume(resume, True, pool._backlog.popleft())
+        else:
+            self.idle.append(resume)
+
+    def remove(self, resume: Callable) -> None:
+        # Interrupting a parked worker unsubscribes it, like any event.
+        self.idle.remove(resume)
+
+
 class ThreadPool:
     """A pool of worker threads fed by a FIFO queue.
 
@@ -90,6 +206,8 @@ class ThreadPool:
     time to completion.  Queue depth is observable for backpressure
     modeling.
     """
+
+    __slots__ = ("env", "name", "num_threads", "_backlog", "_dock", "completed")
 
     def __init__(
         self,
@@ -102,24 +220,31 @@ class ThreadPool:
         self.env = env
         self.name = name
         self.num_threads = num_threads
-        self.queue: Store = Store(env)
+        self._backlog: Deque[tuple] = deque()
+        self._dock = _WorkerDock(self)
         self.completed = 0
         for _ in range(num_threads):
             env.process(self._worker())
 
     def submit(self, work: Callable[[], Generator]) -> Event:
         """Queue a work item; the returned event fires on completion."""
-        done = self.env.event()
-        self.queue.put((work, done))
+        env = self.env
+        done = Event(env)
+        idle = self._dock.idle
+        if idle:
+            env._schedule_resume(idle.popleft(), True, (work, done))
+        else:
+            self._backlog.append((work, done))
         return done
 
     @property
     def queue_depth(self) -> int:
-        return len(self.queue)
+        return len(self._backlog)
 
     def _worker(self) -> Generator:
+        dock = self._dock
         while True:
-            work, done = yield self.queue.get()
+            work, done = yield dock
             try:
                 yield from work()
             except Exception as exc:  # propagate into the waiter
@@ -234,6 +359,14 @@ class BenchmarkHarness:
         pipeline; when it carries a fault schedule, the injector starts
         before warmup so fault onsets (fractions of the measurement
         window) land deterministically.
+
+        With ``config.early_stop`` set (and no fault schedule), a
+        :class:`ConvergenceMonitor` watches completions during the
+        measurement window and ends the run at the first converged
+        window boundary; throughput and goodput then normalize by the
+        simulated seconds actually measured.  Without early stop the
+        measured span equals ``measure_seconds`` exactly and reports
+        are byte-identical to the fixed-window path.
         """
         generator = OpenLoopGenerator(
             env=self.env,
@@ -252,10 +385,31 @@ class BenchmarkHarness:
         self.resilience_stats.reset()
         self.env.process(self._sampler())
         completed_before = generator.completed
+        monitor = None
+        if self.config.early_stop and self.injector is None:
+            # Armed only for the measurement window: warmup completions
+            # must not seed the convergence windows.
+            monitor = ConvergenceMonitor(self.env)
+            generator.on_complete = monitor.on_complete
+        measure_start = self.env.now
         self.env.run(until=self.config.warmup_seconds + self.config.measure_seconds)
+        # Subtract clocks only when the run actually stopped early: the
+        # full window is ``measure_seconds`` *by definition*, and the
+        # float round-trip (warmup + measure) - warmup would perturb
+        # throughput in its last bits and break byte-identical reports.
+        if monitor is not None and monitor.converged_at is not None:
+            measured_seconds = self.env.now - measure_start
+        else:
+            measured_seconds = self.config.measure_seconds
         completed = generator.completed - completed_before
-        result = self._assemble(completed)
-        self._attach_fault_metrics(result)
+        result = self._assemble(completed, measured_seconds)
+        self._attach_fault_metrics(result, measured_seconds)
+        if monitor is not None:
+            result.extra["measured_seconds"] = measured_seconds
+            result.extra["early_stopped"] = (
+                1.0 if monitor.converged_at is not None else 0.0
+            )
+            result.extra["convergence_windows"] = float(monitor.windows_closed)
         return result
 
     def _wrap_handler(self, handler: Handler) -> Handler:
@@ -269,13 +423,17 @@ class BenchmarkHarness:
 
         return resilient_handler
 
-    def _attach_fault_metrics(self, result: WorkloadResult) -> None:
+    def _attach_fault_metrics(
+        self, result: WorkloadResult, elapsed: Optional[float] = None
+    ) -> None:
         """Surface resilience/fault counters in ``result.extra``."""
+        if elapsed is None:
+            elapsed = self.config.measure_seconds
         if self.client is not None:
             stats = self.resilience_stats
             result.extra.update(stats.as_extra())
             result.extra["resilience_goodput_rps"] = (
-                stats.successes * self.config.batch / self.config.measure_seconds
+                stats.successes * self.config.batch / elapsed
             )
             slo = self.client.policy.slo_latency_s
             result.extra["resilience_slo_latency_s"] = slo
@@ -292,7 +450,7 @@ class BenchmarkHarness:
         cores = self.sku.cpu.logical_cores
         previous_busy = self.scheduler.stats.busy_seconds
         while True:
-            yield self.env.timeout(self.SAMPLE_PERIOD_S)
+            yield self.env.sleep(self.SAMPLE_PERIOD_S)
             busy = self.scheduler.stats.busy_seconds
             window_util = min(
                 1.0, (busy - previous_busy) / (self.SAMPLE_PERIOD_S * cores)
@@ -300,8 +458,11 @@ class BenchmarkHarness:
             previous_busy = busy
             self.timeline.append((self.env.now, window_util))
 
-    def _assemble(self, completed_requests: int) -> WorkloadResult:
-        elapsed = self.config.measure_seconds
+    def _assemble(
+        self, completed_requests: int, elapsed: Optional[float] = None
+    ) -> WorkloadResult:
+        if elapsed is None:
+            elapsed = self.config.measure_seconds
         cores = self.sku.cpu.logical_cores
         stats = self.scheduler.stats
         cpu_util = stats.cpu_util(self.env.now, cores)

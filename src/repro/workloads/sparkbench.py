@@ -131,7 +131,7 @@ class SparkBench(Workload):
                 stream = io_streams.request()
                 yield stream
                 try:
-                    yield env.timeout(per_task_bytes / per_stream_rate)
+                    yield env.sleep(per_task_bytes / per_stream_rate)
                 finally:
                     io_streams.release(stream)
                 yield from harness.burst(instr_per_task * instr_mult)

@@ -156,7 +156,7 @@ class TaoBench(Workload):
                 server.cache.stats.misses += 1
 
                 def slow_work() -> Generator:
-                    yield env.timeout(
+                    yield env.sleep(
                         backend_rng.expovariate(1.0 / BACKEND_LATENCY_MEAN_S)
                     )
                     fetched = backend_fetch(key)

@@ -1,0 +1,123 @@
+"""Golden-trace determinism suite.
+
+Runs every named DCPerf workload (fault-free) plus every named fault
+scenario through the old-API surface (``execute_point`` → normalized
+report codec) and asserts the canonical report JSON is byte-identical
+to digests recorded *before* the sim-engine fast path landed.
+
+These digests pin the simulator's observable behavior: any engine,
+load-generator, or runner change that perturbs event ordering, RNG
+draw order, or float arithmetic shows up here as a digest mismatch.
+Early termination is explicitly disabled (``early_stop=False``) so the
+measured window matches the pre-fast-path engine exactly.
+
+Regenerate (only when an *intentional* model/behavior change lands)::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import fields
+
+import pytest
+
+from repro.exec.executor import execute_point
+from repro.exec.spec import RunPoint
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_reports.json")
+
+BENCHMARKS = [
+    "mediawiki",
+    "djangobench",
+    "feedsim",
+    "taobench",
+    "sparkbench",
+    "videotranscode",
+]
+FAULT_SCENARIOS = ["brownout", "blackout", "flaky_network", "noisy_neighbor"]
+
+
+def _make_point(benchmark: str, faults: str = "") -> RunPoint:
+    """A short, fully pinned run; early termination off when supported."""
+    kwargs = dict(
+        benchmark=benchmark,
+        sku="SKU2",
+        seed=11,
+        measure_seconds=0.5,
+        warmup_seconds=0.2,
+        faults=faults,
+    )
+    if any(f.name == "early_stop" for f in fields(RunPoint)):
+        kwargs["early_stop"] = False
+    return RunPoint(**kwargs)
+
+
+def golden_points():
+    """(case name, point) for every workload and fault scenario."""
+    cases = [(name, _make_point(name)) for name in BENCHMARKS]
+    cases += [
+        (f"taobench+{scenario}", _make_point("taobench", faults=scenario))
+        for scenario in FAULT_SCENARIOS
+    ]
+    return cases
+
+
+def report_digest(point: RunPoint) -> str:
+    """SHA-256 over the canonical JSON of the point's report."""
+    report = execute_point(point)
+    canon = json.dumps(report.as_dict(), sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def _load_goldens() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize(
+    "case,point", golden_points(), ids=[c for c, _ in golden_points()]
+)
+def test_report_matches_golden_digest(case, point):
+    goldens = _load_goldens()
+    assert case in goldens, (
+        f"no golden recorded for {case}; run "
+        "`PYTHONPATH=src python tests/test_golden_traces.py --regen`"
+    )
+    digest = report_digest(point)
+    assert digest == goldens[case]["digest"], (
+        f"{case}: report diverged from the pre-fast-path golden trace "
+        f"(got {digest}, want {goldens[case]['digest']}). The simulator's "
+        "observable behavior changed — if intentional, regenerate the "
+        "goldens; otherwise the fast path broke determinism."
+    )
+
+
+def test_goldens_cover_every_workload_and_scenario():
+    goldens = _load_goldens()
+    for case, _ in golden_points():
+        assert case in goldens
+
+
+def _regen() -> None:
+    payload = {}
+    for case, point in golden_points():
+        digest = report_digest(point)
+        payload[case] = {"digest": digest, "point": point.as_dict()}
+        print(f"{case:28s} {digest}")
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -81,4 +81,38 @@ print("fault smoke ok: blackout replay byte-identical "
       f"slo={section['slo_compliance_pct']:.1f}%")
 EOF
 
+echo "== early-stop smoke (convergence on/off) =="
+python - <<'EOF'
+import json
+
+from repro.exec.executor import execute_point
+from repro.exec.spec import RunPoint
+
+base = dict(benchmark="taobench", sku="SKU2", seed=11,
+            measure_seconds=0.6, warmup_seconds=0.2)
+
+# Under fault injection the convergence monitor is skipped entirely:
+# the report must be byte-identical whether early_stop is set or not.
+faulted = json.dumps(execute_point(
+    RunPoint(faults="blackout", **base)).as_dict(), sort_keys=True)
+faulted_es = json.dumps(execute_point(
+    RunPoint(faults="blackout", early_stop=True, **base)).as_dict(),
+    sort_keys=True)
+assert faulted == faulted_es, "early_stop changed a fault-injection report"
+
+# A clean early-stop run is deterministic and says so in the report.
+fast = RunPoint(early_stop=True, **dict(base, measure_seconds=3.0))
+first = execute_point(fast).as_dict()
+second = execute_point(fast).as_dict()
+assert first == second, "early-stop replay is not deterministic"
+extra = first["result"]["extra"]
+assert extra["early_stopped"] == 1.0 and extra["measured_seconds"] < 3.0
+print("early-stop smoke ok: fault reports unchanged, clean run "
+      f"converged at {extra['measured_seconds']:.2f}s of 3.0s "
+      f"({extra['convergence_windows']:.0f} windows), replay identical")
+EOF
+
+echo "== engine perf smoke (vs BENCH_engine.json quick baseline) =="
+python tools/bench_engine.py --quick --repeat 3 --check BENCH_engine.json
+
 echo "== verify ok =="
