@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-sweep report clean-cache
+.PHONY: test verify bench bench-workloads bench-sweep profile report clean-cache
 
 # Fast path: just the unit suite.
 test:
@@ -12,14 +12,23 @@ test:
 verify:
 	sh tools/ci.sh
 
-# Engine hot-path microbenchmarks (short windows; see BENCH_engine.json
-# for the recorded before/after numbers).
+# Engine hot-path microbenchmarks plus the end-to-end workload bench
+# (see BENCH_engine.json / BENCH_workloads.json for recorded numbers).
 bench:
 	PYTHONPATH=src $(PYTHON) tools/bench_engine.py --quick
+	PYTHONPATH=src $(PYTHON) tools/bench_workloads.py --smoke
+
+# Full end-to-end workload wall-clock bench (writes BENCH_workloads.json).
+bench-workloads:
+	PYTHONPATH=src $(PYTHON) tools/bench_workloads.py
 
 # End-to-end sweep benchmark (cold vs warm cache, serial vs pooled).
 bench-sweep:
 	PYTHONPATH=src $(PYTHON) tools/bench_sweep.py
+
+# Reproduce the cProfile that motivated the workload-model fast path.
+profile:
+	PYTHONPATH=src $(PYTHON) tools/bench_workloads.py --profile taobench
 
 report:
 	PYTHONPATH=src $(PYTHON) tools/generate_report.py

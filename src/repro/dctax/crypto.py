@@ -17,17 +17,35 @@ class CryptoError(Exception):
     """Raised on authentication failure."""
 
 
+#: Precompiled record-header packers (per-message invariants).
+_PACK_U8 = struct.Struct("!B").pack
+_PACK_SEQ = struct.Struct("!Q").pack
+_UNPACK_SEQ = struct.Struct("!Q").unpack
+_PACK_BLOCK = struct.Struct("!QI").pack
+
+
+def _xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length byte strings via big-int arithmetic — the
+    same bytes a per-character ``zip`` loop produces, without a Python
+    frame per byte."""
+    return (int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")).to_bytes(
+        len(data), "big"
+    )
+
+
 def hkdf_extract_expand(secret: bytes, salt: bytes, length: int = 32) -> bytes:
     """HKDF (RFC 5869) with SHA-256: extract then expand to ``length``."""
     if length <= 0 or length > 255 * 32:
         raise ValueError("length out of HKDF range")
     prk = hmac.new(salt or b"\x00" * 32, secret, hashlib.sha256).digest()
     blocks = []
+    produced = 0
     prev = b""
     counter = 1
-    while sum(len(b) for b in blocks) < length:
-        prev = hmac.new(prk, prev + struct.pack("!B", counter), hashlib.sha256).digest()
+    while produced < length:
+        prev = hmac.new(prk, prev + _PACK_U8(counter), hashlib.sha256).digest()
         blocks.append(prev)
+        produced += len(prev)
         counter += 1
     return b"".join(blocks)[:length]
 
@@ -45,17 +63,27 @@ class TlsSessionModel:
             raise ValueError("master_secret must be at least 16 bytes")
         self._write_key = hkdf_extract_expand(master_secret, b"write", 32)
         self._mac_key = hkdf_extract_expand(master_secret, b"mac", 32)
+        # HMAC's key schedule (two key-pad hash blocks) is a session
+        # invariant; precompute it once and clone per record instead of
+        # re-running it on every seal/open.  ``copy()`` yields digests
+        # identical to a fresh ``hmac.new`` with the same key.
+        self._mac_proto = hmac.new(self._mac_key, digestmod=hashlib.sha256)
         self._seq = 0
+
+    def _mac(self, data: bytes) -> bytes:
+        mac = self._mac_proto.copy()
+        mac.update(data)
+        return mac.digest()
 
     def _keystream(self, seq: int, length: int) -> bytes:
         blocks = []
+        produced = 0
         counter = 0
-        while sum(len(b) for b in blocks) < length:
-            blocks.append(
-                hashlib.sha256(
-                    self._write_key + struct.pack("!QI", seq, counter)
-                ).digest()
-            )
+        write_key = self._write_key
+        while produced < length:
+            block = hashlib.sha256(write_key + _PACK_BLOCK(seq, counter)).digest()
+            blocks.append(block)
+            produced += len(block)
             counter += 1
         return b"".join(blocks)[:length]
 
@@ -64,22 +92,19 @@ class TlsSessionModel:
         seq = self._seq
         self._seq += 1
         stream = self._keystream(seq, len(plaintext))
-        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
-        mac = hmac.new(
-            self._mac_key, struct.pack("!Q", seq) + ciphertext, hashlib.sha256
-        ).digest()
-        return struct.pack("!Q", seq) + ciphertext + mac
+        ciphertext = _xor_bytes(plaintext, stream)
+        header = _PACK_SEQ(seq)
+        mac = self._mac(header + ciphertext)
+        return header + ciphertext + mac
 
     def open(self, record: bytes) -> bytes:
         """Verify and decrypt one record produced by :meth:`seal`."""
         if len(record) < 8 + 32:
             raise CryptoError("record too short")
-        seq = struct.unpack("!Q", record[:8])[0]
+        seq = _UNPACK_SEQ(record[:8])[0]
         ciphertext, mac = record[8:-32], record[-32:]
-        expected = hmac.new(
-            self._mac_key, record[:8] + ciphertext, hashlib.sha256
-        ).digest()
+        expected = self._mac(record[:8] + ciphertext)
         if not hmac.compare_digest(mac, expected):
             raise CryptoError("record authentication failed")
         stream = self._keystream(seq, len(ciphertext))
-        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+        return _xor_bytes(ciphertext, stream)

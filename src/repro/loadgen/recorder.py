@@ -98,6 +98,28 @@ class LatencyRecorder:
             "max": self.max(),
         }
 
+    def snapshot(self) -> Dict[str, float]:
+        """A total version of :meth:`summary`: never raises.
+
+        A blackout scenario at a tight deadline can finish a window
+        with *only* errors; callers that want the full latency-field
+        shape regardless (dashboards, report diffing) get explicit
+        zero latencies with ``errors`` populated instead of a
+        ``ValueError`` from the percentile math.
+        """
+        if not self._samples:
+            return {
+                "count": 0,
+                "errors": self.errors,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p90": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "max": 0.0,
+            }
+        return self.summary()
+
     def reset(self) -> None:
         self._samples.clear()
         self._sorted = True

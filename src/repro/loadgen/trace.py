@@ -20,7 +20,7 @@ from typing import Dict, Generator, List, Optional, Sequence
 from repro.loadgen.generators import Handler, Request
 from repro.loadgen.recorder import LatencyRecorder
 from repro.sim.engine import Environment
-from repro.sim.rng import RngStreams, lognormal_from_mean_cv
+from repro.sim.rng import RngStreams, WeightedChoice, lognormal_sampler
 
 
 @dataclass(frozen=True)
@@ -145,7 +145,9 @@ def synthesize_production_trace(
         raise ValueError("diurnal_amplitude must be in [0, 1)")
     endpoints = endpoints or {"default": 1.0}
     names = list(endpoints)
-    weights = [endpoints[n] for n in names]
+    endpoint_mix = WeightedChoice(names, [endpoints[n] for n in names])
+    request_sampler = lognormal_sampler(mean_request_bytes, size_cv)
+    response_sampler = lognormal_sampler(mean_response_bytes, size_cv)
 
     streams = RngStreams(seed).spawn("trace")
     arrival_rng = streams.stream("arrivals")
@@ -164,13 +166,9 @@ def synthesize_production_trace(
         records.append(
             TraceRecord(
                 inter_arrival_s=inter_arrival,
-                request_bytes=int(
-                    lognormal_from_mean_cv(size_rng, mean_request_bytes, size_cv)
-                ),
-                response_bytes=int(
-                    lognormal_from_mean_cv(size_rng, mean_response_bytes, size_cv)
-                ),
-                endpoint=endpoint_rng.choices(names, weights=weights)[0],
+                request_bytes=int(request_sampler.sample(size_rng)),
+                response_bytes=int(response_sampler.sample(size_rng)),
+                endpoint=endpoint_mix.sample(endpoint_rng),
             )
         )
     return Trace(records=records)

@@ -21,6 +21,25 @@ from typing import Any, Dict, List, Tuple
 VERSION_1 = 0x80010000
 VERSION_MASK = 0xFFFF0000
 
+#: Precompiled wire-format packers/unpackers.  ``struct.pack("!i", x)``
+#: re-parses the format string (through a cached lookup, but still a
+#: dict probe and call indirection) on every scalar; a message is
+#: mostly scalars, so the codec binds the compiled forms once at import.
+#: ``!bh`` fuses the field-begin (type byte + id i16) into one pack —
+#: the concatenated bytes are identical.
+_PACK_I8 = struct.Struct("!b").pack
+_PACK_I16 = struct.Struct("!h").pack
+_PACK_I32 = struct.Struct("!i").pack
+_PACK_I64 = struct.Struct("!q").pack
+_PACK_F64 = struct.Struct("!d").pack
+_PACK_U32 = struct.Struct("!I").pack
+_PACK_FIELD = struct.Struct("!bh").pack
+_UNPACK_I8 = struct.Struct("!b").unpack
+_UNPACK_I16 = struct.Struct("!h").unpack
+_UNPACK_I32 = struct.Struct("!i").unpack
+_UNPACK_I64 = struct.Struct("!q").unpack
+_UNPACK_F64 = struct.Struct("!d").unpack
+
 
 class ThriftType(enum.IntEnum):
     """Wire type tags (matching Apache Thrift)."""
@@ -64,22 +83,22 @@ class BinaryProtocolWriter:
         self._chunks.append(b"\x01" if value else b"\x00")
 
     def write_byte(self, value: int) -> None:
-        self._chunks.append(struct.pack("!b", value))
+        self._chunks.append(_PACK_I8(value))
 
     def write_i16(self, value: int) -> None:
-        self._chunks.append(struct.pack("!h", value))
+        self._chunks.append(_PACK_I16(value))
 
     def write_i32(self, value: int) -> None:
-        self._chunks.append(struct.pack("!i", value))
+        self._chunks.append(_PACK_I32(value))
 
     def write_i64(self, value: int) -> None:
-        self._chunks.append(struct.pack("!q", value))
+        self._chunks.append(_PACK_I64(value))
 
     def write_double(self, value: float) -> None:
-        self._chunks.append(struct.pack("!d", value))
+        self._chunks.append(_PACK_F64(value))
 
     def write_binary(self, value: bytes) -> None:
-        self._chunks.append(struct.pack("!i", len(value)))
+        self._chunks.append(_PACK_I32(len(value)))
         self._chunks.append(value)
 
     def write_string(self, value: str) -> None:
@@ -87,8 +106,7 @@ class BinaryProtocolWriter:
 
     # --- structure ----------------------------------------------------------
     def write_field_begin(self, ftype: ThriftType, fid: int) -> None:
-        self.write_byte(int(ftype))
-        self.write_i16(fid)
+        self._chunks.append(_PACK_FIELD(int(ftype), fid))
 
     def write_field_stop(self) -> None:
         self.write_byte(int(ThriftType.STOP))
@@ -103,7 +121,7 @@ class BinaryProtocolWriter:
         self.write_i32(size)
 
     def write_message_begin(self, name: str, mtype: MessageType, seqid: int) -> None:
-        self._chunks.append(struct.pack("!I", VERSION_1 | int(mtype)))
+        self._chunks.append(_PACK_U32(VERSION_1 | int(mtype)))
         self.write_string(name)
         self.write_i32(seqid)
 
@@ -133,19 +151,19 @@ class BinaryProtocolReader:
         return self._take(1) != b"\x00"
 
     def read_byte(self) -> int:
-        return struct.unpack("!b", self._take(1))[0]
+        return _UNPACK_I8(self._take(1))[0]
 
     def read_i16(self) -> int:
-        return struct.unpack("!h", self._take(2))[0]
+        return _UNPACK_I16(self._take(2))[0]
 
     def read_i32(self) -> int:
-        return struct.unpack("!i", self._take(4))[0]
+        return _UNPACK_I32(self._take(4))[0]
 
     def read_i64(self) -> int:
-        return struct.unpack("!q", self._take(8))[0]
+        return _UNPACK_I64(self._take(8))[0]
 
     def read_double(self) -> float:
-        return struct.unpack("!d", self._take(8))[0]
+        return _UNPACK_F64(self._take(8))[0]
 
     def read_binary(self) -> bytes:
         size = self.read_i32()

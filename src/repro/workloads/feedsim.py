@@ -22,7 +22,7 @@ from typing import Generator, Optional
 from repro.loadgen.generators import Handler, Request
 from repro.loadgen.slo import SLO, ProbeResult, SloSearchResult, find_max_load
 from repro.sim.events import all_of
-from repro.sim.rng import lognormal_from_mean_cv
+from repro.sim.rng import lognormal_sampler
 from repro.uarch.characteristics import WorkloadCharacteristics
 from repro.workloads.base import RunConfig, Workload, WorkloadResult
 from repro.workloads.profiles import BENCHMARK_PROFILES
@@ -51,6 +51,11 @@ LEAF_IO_CV = 0.4
 #: the mechanism that makes the 500ms SLO bind at 50-70% CPU rather
 #: than at saturation (Figure 9).
 LEAF_IO_CONGESTION = 3.0
+#: Frozen distribution parameterisations (draw-identical to the
+#: per-call function form; the SLO search re-enters the handler ~10x
+#: per run, so the per-draw parameter derivation added up).
+_LEAF_IO_SAMPLER = lognormal_sampler(LEAF_IO_MEAN_S, LEAF_IO_CV)
+_LEAF_COST_SAMPLER = lognormal_sampler(1.0, LEAF_COST_CV)
 
 
 class FeedSim(Workload):
@@ -85,10 +90,7 @@ class FeedSim(Workload):
             # co-loaded with the serving tier.
             occupancy = sched.cores.count / sched.logical_cores
             congestion = 1.0 + LEAF_IO_CONGESTION * occupancy * occupancy
-            yield env.sleep(
-                lognormal_from_mean_cv(io_rng, LEAF_IO_MEAN_S, LEAF_IO_CV)
-                * congestion
-            )
+            yield env.sleep(_LEAF_IO_SAMPLER.sample(io_rng) * congestion)
             yield from harness.burst(mean_leaf_instr * cost_scale)
 
         def handler(request: Request) -> Generator:
@@ -100,7 +102,7 @@ class FeedSim(Workload):
             # slowest one, amplifying the leaf tail.
             leaf_events = []
             for _ in range(LEAF_FANOUT):
-                scale = lognormal_from_mean_cv(leaf_rng, 1.0, LEAF_COST_CV)
+                scale = _LEAF_COST_SAMPLER.sample(leaf_rng)
                 leaf_events.append(
                     pool.submit(lambda s=scale: leaf_work(s))
                 )

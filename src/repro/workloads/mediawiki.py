@@ -20,6 +20,7 @@ from typing import Dict, Generator, Optional, Tuple
 from repro.cachelib.memcached import MemcachedServer
 from repro.loadgen.generators import Handler, Request
 from repro.loadgen.recorder import LatencyRecorder
+from repro.sim.rng import WeightedChoice
 from repro.uarch.characteristics import WorkloadCharacteristics
 from repro.workloads.base import RunConfig, Workload, WorkloadResult
 from repro.workloads.profiles import BENCHMARK_PROFILES
@@ -85,7 +86,7 @@ class MediaWiki(Workload):
         db_rng = harness.rng.stream("db")
         instr = self._chars.instructions_per_request
         names = list(ENDPOINTS)
-        weights = [ENDPOINTS[n][0] for n in names]
+        endpoint_mix = WeightedChoice(names, [ENDPOINTS[n][0] for n in names])
         self._endpoint_recorders = {n: LatencyRecorder() for n in names}
         endpoint_recorders = self._endpoint_recorders
 
@@ -110,7 +111,7 @@ class MediaWiki(Workload):
                 yield from harness.burst(instr * instr_mult)
 
         def handler(request: Request) -> Generator:
-            endpoint = endpoint_rng.choices(names, weights=weights)[0]
+            endpoint = endpoint_mix.sample(endpoint_rng)
             instance = instances.pick()
             start = env.now
 

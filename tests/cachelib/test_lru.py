@@ -119,3 +119,77 @@ class TestStats:
 
     def test_empty_hit_rate(self):
         assert LruCache(100).stats.hit_rate == 0.0
+
+
+class TestClearAndLoad:
+    def test_clear_preserves_counters(self):
+        cache = LruCache(100)
+        cache.set("a", b"12345")
+        cache.get("a")
+        cache.get("missing")
+        dropped = cache.clear()
+        assert dropped == 1
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.sets == 1
+
+    def test_clear_drops_expired_entries_too(self):
+        clock = [0.0]
+        cache = LruCache(100, clock=lambda: clock[0])
+        cache.set("a", b"v", ttl_seconds=1.0)
+        clock[0] = 5.0
+        assert cache.clear() == 1
+        assert cache.used_bytes == 0
+
+    def test_load_matches_set_sequence(self):
+        items = [(f"k{i}", b"x" * (i + 1)) for i in range(10)]
+        via_sets = LruCache(1000)
+        for key, value in items:
+            via_sets.set(key, value)
+        via_load = LruCache(1000)
+        via_load.load(items)
+        assert via_load.items_snapshot() == via_sets.items_snapshot()
+        assert via_load.used_bytes == via_sets.used_bytes
+        assert via_load.stats.sets == via_sets.stats.sets
+
+    def test_load_requires_empty_cache(self):
+        cache = LruCache(100)
+        cache.set("a", b"v")
+        with pytest.raises(ValueError):
+            cache.load([("b", b"v")])
+
+    def test_load_rejects_overflow(self):
+        cache = LruCache(10)
+        with pytest.raises(ValueError):
+            cache.load([("a", b"x" * 6), ("b", b"x" * 6)])
+        assert len(cache) == 0  # failed load leaves the cache empty
+
+
+class TestTtlRacingEviction:
+    def test_expired_entry_evicted_under_pressure_counts_once(self):
+        """An entry that has expired but not yet been reclaimed is still
+        a legal LRU victim; eviction and expiration must not both be
+        charged for it."""
+        clock = [0.0]
+        cache = LruCache(30, clock=lambda: clock[0])
+        cache.set("old", b"x" * 10, ttl_seconds=1.0)
+        cache.set("live", b"x" * 10)
+        clock[0] = 2.0  # "old" is now expired but still resident
+        cache.set("new1", b"x" * 10)  # fits: no eviction yet
+        cache.set("new2", b"x" * 10)  # evicts "old" (LRU, expired)
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 0
+        assert "live" in cache
+        assert "new1" in cache and "new2" in cache
+
+    def test_replace_of_expired_entry_updates_in_place(self):
+        clock = [0.0]
+        cache = LruCache(100, clock=lambda: clock[0])
+        cache.set("k", b"old", ttl_seconds=1.0)
+        clock[0] = 2.0
+        cache.set("k", b"newval")  # replacement clears the stale TTL
+        clock[0] = 100.0
+        assert cache.get("k") == b"newval"
+        assert cache.used_bytes == 6

@@ -87,3 +87,31 @@ class TestSummary:
         r.reset()
         assert len(r) == 0
         assert r.errors == 0
+
+
+class TestSnapshot:
+    def test_error_only_run_never_raises(self):
+        r = LatencyRecorder()
+        r.record_error()
+        r.record_error()
+        snap = r.snapshot()
+        assert snap["count"] == 0
+        assert snap["errors"] == 2
+        assert snap["mean"] == 0.0
+        assert snap["p95"] == 0.0
+        assert snap["max"] == 0.0
+
+    def test_empty_recorder_snapshot(self):
+        snap = LatencyRecorder().snapshot()
+        assert snap["count"] == 0
+        assert snap["errors"] == 0
+        assert set(snap) == {
+            "count", "errors", "mean", "p50", "p90", "p95", "p99", "max",
+        }
+
+    def test_matches_summary_with_samples(self):
+        r = LatencyRecorder()
+        for v in (0.1, 0.2, 0.3):
+            r.record(v)
+        r.record_error()
+        assert r.snapshot() == r.summary()

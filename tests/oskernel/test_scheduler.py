@@ -118,3 +118,43 @@ class TestStats:
         assert 0.4 < util <= 1.0
         sched.stats.reset(env.now)
         assert sched.stats.cpu_util(env.now + 1.0, 2) == 0.0
+
+
+class TestOverheadCache:
+    def test_freq_change_invalidates_cache(self, env):
+        """The fault injector mutates ``freq_ghz`` at runtime (throttle
+        faults); the cached overhead must follow it exactly."""
+        sched = make_scheduler(env)
+        base = sched.dispatch_overhead_seconds
+        sched.freq_ghz = 1.0  # throttled
+        throttled = sched.dispatch_overhead_seconds
+        assert throttled > base
+        expected = (
+            sched.kernel.context_switch_us * 1e-6
+            + sched.kernel.loadavg_cost_cycles(sched.logical_cores) / 1e9
+        )
+        assert throttled == expected
+        sched.freq_ghz = 2.0  # restored
+        assert sched.dispatch_overhead_seconds == base
+
+    def test_cached_value_matches_direct_formula(self, env):
+        for kernel in (KERNEL_6_4, KERNEL_6_9):
+            sched = make_scheduler(env, cores=176, kernel=kernel)
+            expected = kernel.context_switch_us * 1e-6 + kernel.loadavg_cost_cycles(
+                176
+            ) / (sched.freq_ghz * 1e9)
+            assert sched.dispatch_overhead_seconds == expected
+
+    def test_speedup_table_matches_formula(self, env):
+        sched = make_scheduler(env, cores=8, speedup=1.5)
+        for count in range(9):
+            occupancy = count / 8
+            if occupancy <= 0.5:
+                expected = 1.5
+            else:
+                expected = 1.5 - ((occupancy - 0.5) / 0.5) * 0.5
+            assert sched._speedup_by_count[count] == expected
+
+    def test_speedup_table_flat_without_smt(self, env):
+        sched = make_scheduler(env, cores=4, speedup=1.0)
+        assert sched._speedup_by_count == [1.0] * 5

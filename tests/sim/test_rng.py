@@ -149,3 +149,104 @@ class TestExponentialBatch:
             exponential_batch(rng, 0.0, 10)
         with pytest.raises(ValueError):
             exponential_batch(rng, 10.0, 0)
+
+
+class TestLognormalSampler:
+    def test_draw_identical_to_function_form(self):
+        from repro.sim.rng import LognormalSampler
+
+        a = RngStreams(9).stream("sizes")
+        b = RngStreams(9).stream("sizes")
+        sampler = LognormalSampler(150.0, 1.2)
+        via_sampler = [sampler.sample(a) for _ in range(200)]
+        via_function = [lognormal_from_mean_cv(b, 150.0, 1.2) for _ in range(200)]
+        assert via_sampler == via_function
+        assert a.random() == b.random()  # streams stay aligned
+
+    def test_batch_matches_sequential(self):
+        from repro.sim.rng import LognormalSampler
+
+        a = RngStreams(3).stream("x")
+        b = RngStreams(3).stream("x")
+        sampler = LognormalSampler(1.0, 0.5)
+        assert sampler.sample_batch(a, 64) == [sampler.sample(b) for _ in range(64)]
+
+    def test_parameters_match_closed_form(self):
+        from repro.sim.rng import LognormalSampler
+
+        sampler = LognormalSampler(150.0, 1.2)
+        sigma2 = math.log(1.0 + 1.2 * 1.2)
+        assert sampler.sigma == pytest.approx(math.sqrt(sigma2))
+        assert sampler.mu == pytest.approx(math.log(150.0) - sigma2 / 2.0)
+
+    def test_factory_memoizes(self):
+        from repro.sim.rng import lognormal_sampler
+
+        assert lognormal_sampler(2.0, 0.7) is lognormal_sampler(2.0, 0.7)
+        assert lognormal_sampler(2.0, 0.7) is not lognormal_sampler(2.0, 0.8)
+
+    def test_validation(self):
+        from repro.sim.rng import LognormalSampler
+
+        with pytest.raises(ValueError):
+            LognormalSampler(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LognormalSampler(1.0, -1.0)
+        with pytest.raises(ValueError):
+            LognormalSampler(1.0, 1.0).sample_batch(RngStreams(1).stream("x"), 0)
+
+
+class TestWeightedChoice:
+    def test_identical_to_random_choices(self):
+        from repro.sim.rng import WeightedChoice
+
+        names = ["page", "talk", "login", "edit"]
+        weights = [0.70, 0.12, 0.10, 0.08]
+        a = RngStreams(5).stream("endpoints")
+        b = RngStreams(5).stream("endpoints")
+        mix = WeightedChoice(names, weights)
+        via_mix = [mix.sample(a) for _ in range(500)]
+        via_choices = [b.choices(names, weights=weights)[0] for _ in range(500)]
+        assert via_mix == via_choices
+        assert a.random() == b.random()  # one draw per sample, aligned
+
+    def test_validation(self):
+        from repro.sim.rng import WeightedChoice
+
+        with pytest.raises(ValueError):
+            WeightedChoice([], [])
+        with pytest.raises(ValueError):
+            WeightedChoice(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            WeightedChoice(["a", "b"], [0.0, 0.0])
+
+
+class TestSamplerFastPaths:
+    def test_zipf_bisect_matches_linear_scan(self):
+        zipf = ZipfSampler(500, 0.99)
+        a = RngStreams(11).stream("keys")
+        b = RngStreams(11).stream("keys")
+        for _ in range(300):
+            rank = zipf.sample(a)
+            # Reference: the leftmost index whose CDF value is >= u.
+            u = b.random()
+            expected = next(
+                i for i, c in enumerate(zipf._cdf) if c >= u
+            ) + 1
+            assert rank == expected
+
+    def test_zipf_cdf_memoized_across_instances(self):
+        assert ZipfSampler(1000, 0.99)._cdf is ZipfSampler(1000, 0.99)._cdf
+        assert ZipfSampler(1000, 0.99)._cdf is not ZipfSampler(1000, 0.8)._cdf
+
+    def test_empirical_bisect_matches_linear_scan(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0], [0.1, 0.4, 0.4, 0.1])
+        a = RngStreams(13).stream("sizes")
+        b = RngStreams(13).stream("sizes")
+        for _ in range(300):
+            value = dist.sample(a)
+            u = b.random()
+            expected = dist.values[
+                next(i for i, c in enumerate(dist._cdf) if c >= u)
+            ]
+            assert value == expected

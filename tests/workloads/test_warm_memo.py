@@ -1,0 +1,32 @@
+"""The memoized TaoBench pre-warm must be invisible in results."""
+
+from repro.exec.executor import execute_point
+from repro.exec.spec import RunPoint
+from repro.workloads import taobench
+
+
+def _point(seed=11):
+    return RunPoint(
+        benchmark="taobench",
+        sku="SKU2",
+        seed=seed,
+        measure_seconds=0.05,
+        warmup_seconds=0.02,
+        early_stop=False,
+    )
+
+
+class TestWarmMemo:
+    def test_memo_hit_is_byte_identical(self):
+        taobench._WARM_MEMO.clear()
+        first = execute_point(_point())   # records the fill
+        assert taobench._WARM_MEMO
+        second = execute_point(_point())  # replays it
+        assert first.metric_value == second.metric_value
+        assert first.as_dict() == second.as_dict()
+
+    def test_different_seed_is_a_different_fill(self):
+        taobench._WARM_MEMO.clear()
+        execute_point(_point(seed=11))
+        execute_point(_point(seed=12))  # different size-stream state
+        assert len(taobench._WARM_MEMO) == 2
