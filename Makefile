@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-workloads bench-sweep profile report clean-cache
+.PHONY: test verify bench bench-workloads bench-sweep bench-storage profile report clean-cache
 
 # Fast path: just the unit suite.
 test:
@@ -17,6 +17,7 @@ verify:
 bench:
 	PYTHONPATH=src $(PYTHON) tools/bench_engine.py --quick
 	PYTHONPATH=src $(PYTHON) tools/bench_workloads.py --smoke
+	PYTHONPATH=src $(PYTHON) tools/bench_storage.py --smoke
 
 # Full end-to-end workload wall-clock bench (writes BENCH_workloads.json).
 bench-workloads:
@@ -25,6 +26,10 @@ bench-workloads:
 # End-to-end sweep benchmark (cold vs warm cache, serial vs pooled).
 bench-sweep:
 	PYTHONPATH=src $(PYTHON) tools/bench_sweep.py
+
+# Storage-subsystem microbenchmarks (writes BENCH_storage.json).
+bench-storage:
+	PYTHONPATH=src $(PYTHON) tools/bench_storage.py
 
 # Reproduce the cProfile that motivated the workload-model fast path.
 profile:

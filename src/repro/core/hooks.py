@@ -246,6 +246,50 @@ class ResilienceHook(Hook):
         }
 
 
+class IoStatHook(Hook):
+    """Block-device and storage-engine I/O accounting.
+
+    Reads the ``io_*`` counters a device-backed workload (StorageBench)
+    attaches to ``result.extra``: device traffic, time-averaged queue
+    depth, compaction/flush bytes, and write-stall time.  Workloads
+    without a device report ``{"enabled": False}`` so every report
+    keeps the same shape.
+    """
+
+    name = "iostat"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        extra = result.extra
+        if "io_reads" not in extra:
+            return {"enabled": False}
+        reads = extra.get("io_reads", 0.0)
+        writes = extra.get("io_writes", 0.0)
+        return {
+            "enabled": True,
+            "device": ctx.config.sku.storage,
+            "reads": reads,
+            "writes": writes,
+            "read_mb": extra.get("io_read_bytes", 0.0) / 1e6,
+            "write_mb": extra.get("io_write_bytes", 0.0) / 1e6,
+            "mean_queue_depth": extra.get("io_mean_queue_depth", 0.0),
+            "queue_wait_ms_per_op": (
+                extra.get("io_queue_wait_s", 0.0) / (reads + writes) * 1000.0
+                if reads + writes
+                else 0.0
+            ),
+            "device_util_pct": extra.get("io_device_util", 0.0) * 100.0,
+            "compaction_mb": extra.get("io_compaction_bytes", 0.0) / 1e6,
+            "compactions": extra.get("io_compactions", 0.0),
+            "flushes": extra.get("io_flushes", 0.0),
+            "wal_mb": extra.get("io_wal_bytes", 0.0) / 1e6,
+            "block_cache_hit_rate": extra.get("io_cache_hit_rate", 0.0),
+            "bloom_fp_rate": extra.get("io_bloom_fp_rate", 0.0),
+            "stall_seconds": extra.get("io_stall_seconds", 0.0),
+            "stall_events": extra.get("io_stall_events", 0.0),
+            "stall_p99_ms": extra.get("io_stall_p99_s", 0.0) * 1000.0,
+        }
+
+
 class HookRegistry:
     """Named collection of hooks applied to every run."""
 
@@ -306,5 +350,6 @@ def default_hooks() -> HookRegistry:
             UarchHook(),
             TimelineHook(),
             ResilienceHook(),
+            IoStatHook(),
         ]
     )

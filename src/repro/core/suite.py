@@ -32,12 +32,13 @@ from repro.workloads.registry import dcperf_benchmarks
 #: general-purpose fleet; Section 3.2 says the modeled categories are
 #: the top power consumers).
 FLEET_POWER_WEIGHTS: Dict[str, float] = {
-    "mediawiki": 0.30,
-    "djangobench": 0.20,
-    "feedsim": 0.20,
-    "taobench": 0.15,
+    "mediawiki": 0.28,
+    "djangobench": 0.19,
+    "feedsim": 0.19,
+    "taobench": 0.14,
     "sparkbench": 0.10,
     "videotranscode": 0.05,
+    "storagebench": 0.05,
 }
 
 

@@ -58,6 +58,12 @@ class DatasetGenerator:
         self._zipf_cache: Dict[str, ZipfSampler] = {}
 
     def _value_for(self, col: Column, row_index: int) -> Optional[Any]:
+        """Reference single-value path.
+
+        :meth:`generate` no longer calls this per value — it runs the
+        batched columnar loops below — but the draw sequence per column
+        is identical, which the draw-order test pins by comparing both.
+        """
         rng = self.streams.stream(col.name)
         if col.null_fraction > 0 and rng.random() < col.null_fraction:
             return None
@@ -92,12 +98,96 @@ class DatasetGenerator:
         alphabet = string.ascii_lowercase + string.digits
         return "".join(rng.choice(alphabet) for _ in range(length))
 
+    def _ordinal_drawer(self, col: Column):
+        """(rng -> ordinal) for one column, with the sampler hoisted."""
+        domain = col.distinct_values
+        if domain is not None and col.zipf_skew > 0:
+            sampler = self._zipf_cache.get(col.name)
+            if sampler is None:
+                sampler = ZipfSampler(domain, col.zipf_skew)
+                self._zipf_cache[col.name] = sampler
+            return lambda rng: sampler.sample(rng) - 1
+        if domain is not None:
+            return lambda rng: rng.randrange(domain)
+        return None
+
+    def _column_values(self, col: Column, num_rows: int) -> List[Any]:
+        """All of one column's values in a single batched pass.
+
+        Draw-order contract: each column owns a named RNG stream, and
+        every draw for a value comes from that stream (strings spawn
+        per-ordinal child streams, which are derived by name, not by
+        draw order) — so generating a whole column at once consumes the
+        stream in exactly the per-row order :meth:`_value_for` would.
+        The batched form hoists the stream lookup, the null test, the
+        ordinal sampler, and the kind dispatch out of the per-value
+        loop; the values are identical.
+        """
+        rng = self.streams.stream(col.name)
+        random_ = rng.random
+        null_fraction = col.null_fraction
+        nullable = null_fraction > 0
+        draw_ordinal = self._ordinal_drawer(col)
+        domain = col.distinct_values
+        kind = col.kind
+        values: List[Any] = []
+        append = values.append
+
+        if kind == ColumnKind.INT64:
+            for row_index in range(num_rows):
+                if nullable and random_() < null_fraction:
+                    append(None)
+                elif domain is not None:
+                    append(draw_ordinal(rng))
+                else:
+                    append(row_index)
+        elif kind == ColumnKind.DOUBLE:
+            uniform = rng.uniform
+            for _ in range(num_rows):
+                if nullable and random_() < null_fraction:
+                    append(None)
+                    continue
+                if draw_ordinal is not None:
+                    draw_ordinal(rng)
+                append(round(uniform(0.0, 1000.0), 4))
+        elif kind == ColumnKind.BOOL:
+            for _ in range(num_rows):
+                if nullable and random_() < null_fraction:
+                    append(None)
+                    continue
+                if draw_ordinal is not None:
+                    draw_ordinal(rng)
+                append(random_() < 0.5)
+        elif kind == ColumnKind.TIMESTAMP:
+            randrange = rng.randrange
+            for _ in range(num_rows):
+                if nullable and random_() < null_fraction:
+                    append(None)
+                    continue
+                if draw_ordinal is not None:
+                    draw_ordinal(rng)
+                append(_EPOCH_2026 + randrange(86_400 * 30))
+        elif kind == ColumnKind.STRING:
+            string_value = self._string_value
+            for row_index in range(num_rows):
+                if nullable and random_() < null_fraction:
+                    append(None)
+                    continue
+                if draw_ordinal is not None:
+                    ordinal = draw_ordinal(rng)
+                else:
+                    ordinal = row_index
+                append(string_value(col, ordinal))
+        else:
+            raise ValueError(f"unhandled column kind {kind}")
+        return values
+
     def generate(self, num_rows: int) -> GeneratedTable:
-        """Generate ``num_rows`` rows of columnar data."""
+        """Generate ``num_rows`` rows of columnar data, column-major."""
         if num_rows < 0:
             raise ValueError("num_rows must be non-negative")
-        columns: Dict[str, List[Any]] = {c.name: [] for c in self.schema.columns}
-        for row_index in range(num_rows):
-            for col in self.schema.columns:
-                columns[col.name].append(self._value_for(col, row_index))
+        columns: Dict[str, List[Any]] = {
+            col.name: self._column_values(col, num_rows)
+            for col in self.schema.columns
+        }
         return GeneratedTable(schema=self.schema, columns=columns)

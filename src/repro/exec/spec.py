@@ -27,7 +27,10 @@ from repro.workloads.base import RunConfig
 #: now covers the fault-scenario registry.
 #: 3: RunPoint grew the ``early_stop`` field (convergence-based early
 #: termination of the measurement window).
-CACHE_SCHEMA_VERSION = 3
+#: 4: storage subsystem — StorageBench joined the suite, the report
+#: grew the ``iostat`` hook section, and the ``disk_degraded`` fault
+#: scenario landed; every report's shape changed.
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True, order=True)

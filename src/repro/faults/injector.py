@@ -25,6 +25,11 @@ Effects fall into three channels:
   current extra delay and drop probability; the
   :class:`~repro.faults.resilience.ServiceClient` consults them on
   every attempt.
+* **Device channel** — ``disk_degraded`` publishes a multiplicative
+  slowdown to every :class:`~repro.hw.blockdev.BlockDevice` registered
+  via :meth:`FaultInjector.attach_device` (mirroring the CPU channel's
+  ``fault_slowdown``).  Workloads without devices attach nothing and
+  the fault is a no-op, so one scenario is meaningful suite-wide.
 """
 
 from __future__ import annotations
@@ -77,6 +82,8 @@ class FaultInjector:
         self.log: List[Tuple[float, str, str]] = []
         self._slowdowns: Dict[object, float] = {}
         self._throttles: Dict[int, float] = {}
+        self._disk_faults: Dict[int, float] = {}
+        self._devices: List[object] = []
         self._crashes = 0
         self._baseline_freq_ghz: Optional[float] = None
         self._started = False
@@ -122,6 +129,9 @@ class FaultInjector:
             self.net_delay_s += fault.magnitude
         elif kind == "net_loss":
             self.net_loss_p = min(0.999, self.net_loss_p + fault.magnitude)
+        elif kind == "disk_degraded":
+            self._disk_faults[index] = fault.magnitude
+            self._publish_disk_slowdown()
         self.log.append((self.env.now, kind, "apply"))
 
     def _revert(self, index: int, fault: FaultSpec) -> None:
@@ -138,6 +148,9 @@ class FaultInjector:
             self.net_delay_s = max(0.0, self.net_delay_s - fault.magnitude)
         elif kind == "net_loss":
             self.net_loss_p = max(0.0, self.net_loss_p - fault.magnitude)
+        elif kind == "disk_degraded":
+            self._disk_faults.pop(index, None)
+            self._publish_disk_slowdown()
         self.log.append((self.env.now, kind, "revert"))
 
     # -- CPU channel helpers ---------------------------------------------------
@@ -185,6 +198,29 @@ class FaultInjector:
             self._set_slowdown("freq_throttle", baseline / throttled)
         else:
             self._clear_slowdown("freq_throttle")
+
+    # -- device channel --------------------------------------------------------
+    def attach_device(self, device) -> None:
+        """Register a block device for ``disk_degraded`` publication.
+
+        ``device`` must expose ``fault_slowdown`` (the
+        :class:`~repro.hw.blockdev.BlockDevice` surface).  Late
+        attachment — a workload building its device after the injector
+        started — immediately picks up any active disk faults.
+        """
+        self._devices.append(device)
+        device.fault_slowdown = self._disk_product()
+
+    def _disk_product(self) -> float:
+        product = 1.0
+        for factor in self._disk_faults.values():
+            product *= factor
+        return product
+
+    def _publish_disk_slowdown(self) -> None:
+        product = self._disk_product()
+        for device in self._devices:
+            device.fault_slowdown = product
 
     # -- network channel -------------------------------------------------------
     def drops_attempt(self) -> bool:

@@ -20,6 +20,7 @@ Magnitude semantics per kind:
 ``cache_flush``           added slowdown fraction while caches re-warm
 ``net_latency``           seconds of extra latency added to each client call
 ``net_loss``              probability each client attempt is dropped, [0, 1]
+``disk_degraded``         multiplier (> 1.0) on block-device service times
 ========================  ====================================================
 """
 
@@ -37,6 +38,7 @@ FAULT_KINDS = (
     "cache_flush",
     "net_latency",
     "net_loss",
+    "disk_degraded",
 )
 
 #: Kinds whose magnitude is a probability/fraction bounded by 1.
@@ -71,8 +73,11 @@ class FaultSpec:
             )
         if self.magnitude <= 0.0:
             raise ValueError(f"magnitude must be positive, got {self.magnitude}")
-        if self.kind == "server_slowdown" and self.magnitude <= 1.0:
-            raise ValueError("server_slowdown magnitude is a multiplier > 1.0")
+        if (
+            self.kind in ("server_slowdown", "disk_degraded")
+            and self.magnitude <= 1.0
+        ):
+            raise ValueError(f"{self.kind} magnitude is a multiplier > 1.0")
         if self.kind in _FRACTION_KINDS and self.magnitude >= 1.0:
             raise ValueError(f"{self.kind} magnitude must be a fraction < 1.0")
 

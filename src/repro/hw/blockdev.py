@@ -1,0 +1,249 @@
+"""Simulated block storage devices.
+
+A :class:`BlockDevice` turns byte counts into service times on the
+discrete-event engine: each I/O claims one of ``queue_depth`` device
+slots (FIFO when the queue is full — real NVMe queues are deeper, but
+the modeled depth is the *effective* parallelism the firmware
+sustains), then sleeps for a service time composed of a fixed per-op
+latency plus a bandwidth term.  Sequential and random transfers get
+distinct bandwidths, which is the property that makes LSM compaction
+(large sequential I/O) and point reads (small random I/O) contend
+realistically on the same device.
+
+``fault_slowdown`` is the fault-injection surface: the
+``disk_degraded`` fault multiplies every service time through it,
+mirroring ``CpuScheduler.fault_slowdown`` on the CPU channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class BlockDeviceSpec:
+    """Static performance parameters of one device class.
+
+    Bandwidths are bytes/second; ``latency_s`` is the fixed per-op
+    service component (seek/setup/flash-translation), charged once per
+    operation regardless of transfer size.
+    """
+
+    name: str
+    queue_depth: int
+    seq_read_bps: float
+    rand_read_bps: float
+    seq_write_bps: float
+    rand_write_bps: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        for field_name in (
+            "seq_read_bps",
+            "rand_read_bps",
+            "seq_write_bps",
+            "rand_write_bps",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+    def bandwidth_bps(self, read: bool, sequential: bool) -> float:
+        if read:
+            return self.seq_read_bps if sequential else self.rand_read_bps
+        return self.seq_write_bps if sequential else self.rand_write_bps
+
+    def service_seconds(
+        self, num_bytes: float, read: bool, sequential: bool
+    ) -> float:
+        """Unloaded service time for one transfer."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.latency_s + num_bytes / self.bandwidth_bps(read, sequential)
+
+
+#: SATA SSD (SKU1-era boot/storage drive).
+SATA_SSD = BlockDeviceSpec(
+    name="sata-ssd",
+    queue_depth=32,
+    seq_read_bps=520e6,
+    rand_read_bps=300e6,
+    seq_write_bps=450e6,
+    rand_write_bps=230e6,
+    latency_s=90e-6,
+)
+
+#: Datacenter NVMe flash (SKU2+).
+NVME_FLASH = BlockDeviceSpec(
+    name="nvme-flash",
+    queue_depth=64,
+    seq_read_bps=2.8e9,
+    rand_read_bps=1.5e9,
+    seq_write_bps=1.4e9,
+    rand_write_bps=0.9e9,
+    latency_s=60e-6,
+)
+
+
+def device_spec_for(storage: str) -> BlockDeviceSpec:
+    """Map a SKU's storage description string to a device spec.
+
+    The SKU table describes storage as e.g. ``"256GB SATA"`` or
+    ``"1TB NVMe"``; capacity does not affect service times, so only
+    the interface class matters.
+    """
+    if "nvme" in storage.lower():
+        return NVME_FLASH
+    return SATA_SSD
+
+
+class IoStats:
+    """Counters one device accumulates; resettable at window edges."""
+
+    __slots__ = (
+        "reads",
+        "writes",
+        "read_bytes",
+        "write_bytes",
+        "wait_seconds",
+        "busy_seconds",
+        "depth_area",
+        "window_start",
+    )
+
+    def __init__(self) -> None:
+        self.reset(0.0)
+
+    def reset(self, now: float) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.read_bytes = 0.0
+        self.write_bytes = 0.0
+        #: Total time ops spent queued for a device slot.
+        self.wait_seconds = 0.0
+        #: Total slot-occupancy time (sums over concurrent ops).
+        self.busy_seconds = 0.0
+        #: Integral of outstanding-op count over time (for mean depth).
+        self.depth_area = 0.0
+        self.window_start = now
+
+    @property
+    def ops(self) -> int:
+        return self.reads + self.writes
+
+    def mean_queue_depth(self, now: float) -> float:
+        """Time-averaged outstanding ops since the last reset."""
+        elapsed = now - self.window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.depth_area / elapsed
+
+    def utilization(self, now: float, queue_depth: int) -> float:
+        """Busy fraction of the device's slots since the last reset."""
+        elapsed = now - self.window_start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (elapsed * queue_depth))
+
+
+class BlockDevice:
+    """One simulated device instance bound to an environment.
+
+    :meth:`read` and :meth:`write` are generators — yield from them in
+    a process; they return the service time actually charged (useful
+    for tests).  All submitted ops are counted in :attr:`stats`, and
+    the in-flight count integrates into ``depth_area`` at every
+    transition for time-averaged queue-depth reporting.
+    """
+
+    def __init__(self, env: Environment, spec: BlockDeviceSpec) -> None:
+        self.env = env
+        self.spec = spec
+        self._slots = Resource(env, capacity=spec.queue_depth)
+        #: Multiplier (>= 1.0) on service times; the ``disk_degraded``
+        #: fault channel publishes here.
+        self.fault_slowdown = 1.0
+        self.stats = IoStats()
+        self._outstanding = 0
+        self._last_mark = env.now
+
+    # -- depth accounting ------------------------------------------------------
+    def _mark(self, delta: int) -> None:
+        now = self.env.now
+        self.stats.depth_area += self._outstanding * (now - self._last_mark)
+        self._last_mark = now
+        self._outstanding += delta
+
+    @property
+    def outstanding(self) -> int:
+        """Ops submitted but not yet completed (queued + in service)."""
+        return self._outstanding
+
+    @property
+    def queue_length(self) -> int:
+        """Ops waiting for a device slot."""
+        return self._slots.queue_length
+
+    def settle(self) -> None:
+        """Integrate depth accounting up to ``env.now`` (read barrier).
+
+        Call before reading :attr:`stats` so ``depth_area`` covers the
+        interval since the last in-flight transition.
+        """
+        self._mark(0)
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (keeps in-flight ops)."""
+        self.stats.depth_area += self._outstanding * (
+            self.env.now - self._last_mark
+        )
+        self._last_mark = self.env.now
+        self.stats.reset(self.env.now)
+
+    # -- I/O -------------------------------------------------------------------
+    def read(self, num_bytes: float, sequential: bool = False) -> Generator:
+        """Claim a slot, transfer ``num_bytes`` in, release (generator)."""
+        return self._io(num_bytes, read=True, sequential=sequential)
+
+    def write(self, num_bytes: float, sequential: bool = False) -> Generator:
+        """Claim a slot, transfer ``num_bytes`` out, release (generator)."""
+        return self._io(num_bytes, read=False, sequential=sequential)
+
+    def _io(self, num_bytes: float, read: bool, sequential: bool) -> Generator:
+        self._mark(+1)
+        queued_at = self.env.now
+        grant = self._slots.request()
+        try:
+            yield grant
+        except BaseException:
+            # Abandoned while queued (deadline/hedge): release the
+            # claim so the slot cannot leak, then unwind.
+            self._slots.release(grant)
+            self._mark(-1)
+            raise
+        stats = self.stats
+        stats.wait_seconds += self.env.now - queued_at
+        service = (
+            self.spec.service_seconds(num_bytes, read, sequential)
+            * self.fault_slowdown
+        )
+        try:
+            yield self.env.sleep(service)
+        finally:
+            self._slots.release(grant)
+            self._mark(-1)
+        stats.busy_seconds += service
+        if read:
+            stats.reads += 1
+            stats.read_bytes += num_bytes
+        else:
+            stats.writes += 1
+            stats.write_bytes += num_bytes
+        return service

@@ -3,6 +3,12 @@
 Collects per-request latencies and computes percentiles by sorting
 (exact, not approximated — sample counts in the simulations are small
 enough that a t-digest would be overkill and less testable).
+
+An opt-in bucketed backend (``LatencyRecorder(backend="hdr")``) trades
+that exactness for O(buckets) percentile reads: samples land in
+log-linear HDR-style buckets, so an in-run SLO monitor can query
+percentiles continuously without re-sorting the sample list.  The
+exact sort-based path stays the default and is byte-for-byte unchanged.
 """
 
 from __future__ import annotations
@@ -11,20 +17,164 @@ import bisect
 from typing import Dict, List
 
 
-class LatencyRecorder:
-    """Accumulates latencies (seconds) and answers percentile queries."""
+class BucketedHistogram:
+    """Log-linear (HDR-style) histogram over non-negative seconds.
 
-    def __init__(self) -> None:
+    Values are quantized to integer microseconds and counted in
+    log-linear buckets: values below ``2**precision_bits`` µs get one
+    bucket each (exact), and every further power-of-two magnitude is
+    split into ``2**precision_bits`` equal sub-buckets.  The worst-case
+    relative quantization error is therefore ``2**-(precision_bits+1)``
+    (~0.4% at the default 7 bits), independent of the value's size —
+    the HdrHistogram guarantee.
+
+    Percentile reads walk the non-empty buckets (O(buckets · log
+    buckets) with the sparse dict representation) instead of sorting
+    the sample list, so they are cheap enough to call per-completion.
+    """
+
+    __slots__ = ("precision_bits", "_sub_count", "_counts", "_total", "_max_units")
+
+    def __init__(self, precision_bits: int = 7) -> None:
+        if not 1 <= precision_bits <= 14:
+            raise ValueError("precision_bits must be in [1, 14]")
+        self.precision_bits = precision_bits
+        self._sub_count = 1 << precision_bits
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._max_units = 0
+
+    # -- unit/bucket mapping ---------------------------------------------------
+    @staticmethod
+    def _units(seconds: float) -> int:
+        """Quantize to integer microseconds (half-up)."""
+        return int(seconds * 1e6 + 0.5)
+
+    def _index(self, units: int) -> int:
+        """Bucket index for a microsecond count.
+
+        ``units < sub_count`` map 1:1 (exact); above that, a value in
+        magnitude ``k`` (``units in [sub<<k, sub<<(k+1))``) lands at
+        ``k*sub + (units >> k)`` — contiguous, monotone, and unique.
+        """
+        sub = self._sub_count
+        if units < sub:
+            return units
+        shift = units.bit_length() - self.precision_bits - 1
+        return shift * sub + (units >> shift)
+
+    def _bucket_mid_seconds(self, index: int) -> float:
+        """Representative (midpoint) value of a bucket, in seconds."""
+        sub = self._sub_count
+        if index < sub:
+            return index / 1e6
+        shift = index // sub - 1
+        low = (index - shift * sub) << shift
+        width = 1 << shift
+        return (low + (width - 1) * 0.5) / 1e6
+
+    def _bucket_high_units(self, index: int) -> int:
+        """Highest microsecond count a bucket covers (inclusive)."""
+        sub = self._sub_count
+        if index < sub:
+            return index
+        shift = index // sub - 1
+        return (((index - shift * sub) + 1) << shift) - 1
+
+    # -- recording -------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        units = self._units(seconds)
+        index = self._index(units)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self._total += 1
+        if units > self._max_units:
+            self._max_units = units
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of non-empty buckets (the O(buckets) in reads)."""
+        return len(self._counts)
+
+    # -- queries ---------------------------------------------------------------
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (bucket midpoint; max is exact)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if self._total == 0:
+            raise ValueError("no samples recorded")
+        if p >= 100.0:
+            return self._max_units / 1e6
+        target = max(1, int(p / 100.0 * self._total + 0.5))
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= target:
+                return self._bucket_mid_seconds(index)
+        return self._max_units / 1e6
+
+    def mean(self) -> float:
+        if self._total == 0:
+            raise ValueError("no samples recorded")
+        acc = 0.0
+        for index, count in self._counts.items():
+            acc += self._bucket_mid_seconds(index) * count
+        return acc / self._total
+
+    def max(self) -> float:
+        if self._total == 0:
+            raise ValueError("no samples recorded")
+        return self._max_units / 1e6
+
+    def count_at_or_below(self, seconds: float) -> int:
+        """Number of recorded values at or under ``seconds``."""
+        threshold = self._units(seconds)
+        within = 0
+        for index, count in self._counts.items():
+            if self._bucket_high_units(index) <= threshold:
+                within += count
+        return within
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._total = 0
+        self._max_units = 0
+
+
+class LatencyRecorder:
+    """Accumulates latencies (seconds) and answers percentile queries.
+
+    ``backend="exact"`` (the default) keeps every sample and sorts on
+    demand — exact percentiles.  ``backend="hdr"`` counts samples into
+    a :class:`BucketedHistogram` — percentiles are accurate to the
+    bucket resolution (~0.4%) but reads cost O(buckets) instead of
+    O(n log n), which is what continuous in-run tracking (e.g. the
+    StorageBench stall monitor) needs.
+    """
+
+    def __init__(self, backend: str = "exact") -> None:
+        if backend not in ("exact", "hdr"):
+            raise ValueError(f"unknown recorder backend {backend!r}")
+        self.backend = backend
         self._samples: List[float] = []
         self._sorted = True
+        self._hist = BucketedHistogram() if backend == "hdr" else None
         self.errors = 0
 
     def __len__(self) -> int:
+        if self._hist is not None:
+            return self._hist.total
         return len(self._samples)
 
     def record(self, latency_seconds: float) -> None:
         if latency_seconds < 0:
             raise ValueError("latency must be non-negative")
+        if self._hist is not None:
+            self._hist.record(latency_seconds)
+            return
         self._samples.append(latency_seconds)
         self._sorted = False
 
@@ -39,6 +189,8 @@ class LatencyRecorder:
 
     def percentile(self, p: float) -> float:
         """Exact percentile via linear interpolation; p in [0, 100]."""
+        if self._hist is not None:
+            return self._hist.percentile(p)
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile out of range: {p}")
         if not self._samples:
@@ -53,11 +205,15 @@ class LatencyRecorder:
         return self._samples[lower] * (1.0 - weight) + self._samples[upper] * weight
 
     def mean(self) -> float:
+        if self._hist is not None:
+            return self._hist.mean()
         if not self._samples:
             raise ValueError("no samples recorded")
         return sum(self._samples) / len(self._samples)
 
     def max(self) -> float:
+        if self._hist is not None:
+            return self._hist.max()
         if not self._samples:
             raise ValueError("no samples recorded")
         self._ensure_sorted()
@@ -70,25 +226,27 @@ class LatencyRecorder:
         objective; errors count as misses (the denominator includes
         them) because a failed request never met its SLO.
         """
-        total = len(self._samples) + self.errors
+        total = len(self) + self.errors
         if total == 0:
             return 1.0
+        if self._hist is not None:
+            return self._hist.count_at_or_below(threshold_seconds) / total
         self._ensure_sorted()
         within = bisect.bisect_right(self._samples, threshold_seconds)
         return within / total
 
     def error_rate(self) -> float:
-        total = len(self._samples) + self.errors
+        total = len(self) + self.errors
         if total == 0:
             return 0.0
         return self.errors / total
 
     def summary(self) -> Dict[str, float]:
         """The latency distribution DCPerf reports per benchmark."""
-        if not self._samples:
+        if len(self) == 0:
             return {"count": 0, "errors": self.errors}
         return {
-            "count": len(self._samples),
+            "count": len(self),
             "errors": self.errors,
             "mean": self.mean(),
             "p50": self.percentile(50),
@@ -107,7 +265,7 @@ class LatencyRecorder:
         zero latencies with ``errors`` populated instead of a
         ``ValueError`` from the percentile math.
         """
-        if not self._samples:
+        if len(self) == 0:
             return {
                 "count": 0,
                 "errors": self.errors,
@@ -121,6 +279,8 @@ class LatencyRecorder:
         return self.summary()
 
     def reset(self) -> None:
+        if self._hist is not None:
+            self._hist.clear()
         self._samples.clear()
         self._sorted = True
         self.errors = 0

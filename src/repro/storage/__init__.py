@@ -1,0 +1,22 @@
+"""LSM-tree storage engine model (the StorageBench vertical).
+
+Layers: :mod:`repro.storage.bloom` (deterministic bloom filters),
+:mod:`repro.storage.sstable` (memtable + sorted-run metadata), and
+:mod:`repro.storage.lsm` (the leveled LSM engine driving a simulated
+block device, a block cache, and background compaction).
+"""
+
+from repro.storage.bloom import BloomFilter
+from repro.storage.lsm import LsmConfig, LsmStats, LsmTree
+from repro.storage.sstable import Memtable, SSTable, merge_runs, split_into_tables
+
+__all__ = [
+    "BloomFilter",
+    "LsmConfig",
+    "LsmStats",
+    "LsmTree",
+    "Memtable",
+    "SSTable",
+    "merge_runs",
+    "split_into_tables",
+]

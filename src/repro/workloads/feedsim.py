@@ -57,6 +57,21 @@ LEAF_IO_CONGESTION = 3.0
 _LEAF_IO_SAMPLER = lognormal_sampler(LEAF_IO_MEAN_S, LEAF_IO_CV)
 _LEAF_COST_SAMPLER = lognormal_sampler(1.0, LEAF_COST_CV)
 
+#: Memoized SLO-search operating points — the TaoBench warm-fill memo
+#: pattern applied to FeedSim's setup phase.  The search is FeedSim's
+#: deterministic "tree build": ~10 probe runs, each on a fresh harness
+#: whose RNG streams derive solely from ``config.seed``, so the
+#: converged operating point is a pure function of (profile, config).
+#: TaoBench keys its memo on the RNG entry state because its fill
+#: advances a live stream; here every probe *re-derives* its streams
+#: from the config, so the config itself pins the RNG entry state and
+#: the final measurement run (again a fresh harness) is byte-identical
+#: whether the search ran or replayed.  Keyed only for the
+#: module-persistent profiles, whose identity is stable for the life
+#: of the process; bounded like the TaoBench memo.
+_SEARCH_MEMO: dict = {}
+_SEARCH_MEMO_MAX = 4
+
 
 class FeedSim(Workload):
     """Newsfeed ranking under a tail-latency SLO."""
@@ -142,29 +157,65 @@ class FeedSim(Workload):
             tolerance=0.04,
         )
 
-    def run(self, config: RunConfig) -> WorkloadResult:
+    def _memo_key(self, config: RunConfig):
+        """Memo key, or None when the profile is not module-persistent.
+
+        A caller-supplied characteristics object may be mutated or
+        garbage-collected between runs, so only the registry profiles
+        (whose identity is stable) are safe to key by name; ``config``
+        is a frozen, hashable dataclass and pins everything else the
+        search depends on (seed, SKU, kernel, window, load scale).
+        """
+        from repro.workloads.profiles import PRODUCTION_PROFILES
+
+        chars = self._chars
+        if chars is BENCHMARK_PROFILES.get("feedsim") or chars is (
+            PRODUCTION_PROFILES.get("ranking-prod")
+        ):
+            return (chars.name, config)
+        return None
+
+    def _operating_point(self, config: RunConfig):
+        """(operating_rps, slo_met, probes_run, p95) — search or replay."""
+        key = self._memo_key(config)
+        if key is not None:
+            memo = _SEARCH_MEMO.get(key)
+            if memo is not None:
+                return memo
         try:
             search = self.search(config)
-            operating_rps = search.max_rps
-            slo_met = True
+            point = (
+                search.max_rps,
+                True,
+                float(search.probes_run),
+                search.probe.latency_at_percentile,
+            )
         except ValueError:
             # The SLO cannot be met at any load: on a pathologically
             # slow CPU the request's own critical path exceeds 500ms.
             # The benchmark still reports a (floor) throughput — the
             # machine serves traffic, it just always violates the SLO.
             harness = BenchmarkHarness(config, self._chars)
-            operating_rps = harness.server.capacity_rps() * 0.05
-            search = None
-            slo_met = False
+            point = (harness.server.capacity_rps() * 0.05, False, None, None)
+        if key is not None:
+            if len(_SEARCH_MEMO) >= _SEARCH_MEMO_MAX:
+                _SEARCH_MEMO.clear()
+            _SEARCH_MEMO[key] = point
+        return point
+
+    def run(self, config: RunConfig) -> WorkloadResult:
+        operating_rps, slo_met, probes_run, search_p95 = self._operating_point(
+            config
+        )
         # Re-run at the converged operating point for full metrics.
         harness = BenchmarkHarness(config, self._chars)
         handler = self._build_handler(harness)
         result = harness.run_open_loop(handler, offered_rps=operating_rps)
         result.extra["slo_met"] = float(slo_met)
         result.extra["slo_max_rps"] = operating_rps
-        if search is not None:
-            result.extra["slo_probes"] = float(search.probes_run)
-            result.extra["slo_p95_seconds"] = search.probe.latency_at_percentile
+        if probes_run is not None:
+            result.extra["slo_probes"] = probes_run
+            result.extra["slo_p95_seconds"] = search_p95
         if result.throughput_rps <= 0:
             result.throughput_rps = operating_rps * 0.5
         return result

@@ -57,6 +57,10 @@ def production_workload(benchmark_name: str) -> Workload:
         from repro.workloads.videotranscode import VideoTranscodeBench
 
         return VideoTranscodeBench(chars=chars)
+    if benchmark_name == "storagebench":
+        from repro.workloads.storagebench import StorageBench
+
+        return StorageBench(chars=chars)
     raise KeyError(f"unhandled benchmark {benchmark_name!r}")
 
 

@@ -152,6 +152,32 @@ _STRUCTURES: Dict[str, StructuralParams] = {
         network_bytes_per_request=9_000_000,
         tax_shares=FIG12_TAX_PROFILES["spark-prod"],
     ),
+    # LSM key-value storage: small point ops like caching but with a
+    # heavier per-op engine path (memtable, bloom probes, block
+    # decode); the I/O itself lives on the simulated block device, not
+    # in these CPU-side parameters.
+    "storagebench": StructuralParams(
+        instructions_per_request=60_000,
+        thread_core_ratio=10,
+        rpc_fanout=1,
+        switches_per_kinstr=1.10,
+        mem_refs_per_kinstr=320,
+        locality_beta=0.55,
+        memory_level_parallelism=8.0,
+        network_bytes_per_request=2_000,
+        tax_shares=FIG12_TAX_PROFILES["storagebench"],
+    ),
+    "storage-prod": StructuralParams(
+        instructions_per_request=66_000,
+        thread_core_ratio=10,
+        rpc_fanout=1,
+        switches_per_kinstr=1.20,
+        mem_refs_per_kinstr=330,
+        locality_beta=0.55,
+        memory_level_parallelism=8.0,
+        network_bytes_per_request=2_400,
+        tax_shares=FIG12_TAX_PROFILES["storage-prod"],
+    ),
     # Video transcode: per-core ffmpeg instances, zero fanout.
     "videotranscode": StructuralParams(
         instructions_per_request=2e9,
@@ -238,6 +264,7 @@ BENCHMARK_TO_PRODUCTION: Dict[str, str] = {
     "mediawiki": "fbweb-prod",
     "sparkbench": "spark-prod",
     "videotranscode": "video-prod",
+    "storagebench": "storage-prod",
 }
 
 

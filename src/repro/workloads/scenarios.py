@@ -181,6 +181,23 @@ FAULT_SCENARIOS: Dict[str, FaultScenario] = {
             ),
         ),
         FaultScenario(
+            name="disk_degraded",
+            description=(
+                "Degraded flash: block-device service times inflate 4x "
+                "for most of the window — compaction backlogs, the "
+                "block cache stops absorbing misses, and write stalls "
+                "surface in foreground p99."
+            ),
+            schedule=FaultSchedule.of(
+                FaultSpec("disk_degraded", 0.20, 0.60, 4.0),
+            ),
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=1,
+                slo_latency_s=0.1,
+            ),
+        ),
+        FaultScenario(
             name="noisy_neighbor",
             description=(
                 "Co-tenant interference: a 1.6x slowdown through the "

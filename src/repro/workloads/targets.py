@@ -76,6 +76,14 @@ PRODUCTION_TARGETS: Dict[str, FidelityTargets] = {
         "video-prod", "media", fe=18, bs=8, be=18, l1i=9, membw=22,
         util=97, sys=3, freq=1.95, ipc=2.2, platform_activity=0.40,
     ),
+    # ZippyDB-style persistent key-value store: RocksDB behind a
+    # Thrift-ish RPC layer.  Backend-bound (block reads miss the CPU
+    # caches), warm instruction footprint between the cache and web
+    # extremes, and a visible kernel share from the I/O submission path.
+    "storage-prod": _targets(
+        "storage-prod", "storage", fe=32, bs=6, be=32, l1i=34, membw=28,
+        util=82, sys=22, freq=1.98, ipc=1.1, platform_activity=0.45,
+    ),
 }
 
 # --- DCPerf benchmarks --------------------------------------------------------
@@ -103,6 +111,13 @@ BENCHMARK_TARGETS: Dict[str, FidelityTargets] = {
     "videotranscode": _targets(
         "videotranscode", "media", fe=16, bs=8, be=17, l1i=10, membw=20,
         util=98, sys=2, freq=1.96, ipc=2.3, platform_activity=0.0,
+    ),
+    # StorageBench models ZippyDB's LSM engine with synthetic clients:
+    # the same backend-bound shape as storage-prod, slightly lighter on
+    # frontend stalls (no production RPC soup) and kernel time.
+    "storagebench": _targets(
+        "storagebench", "storage", fe=30, bs=6, be=35, l1i=30, membw=25,
+        util=75, sys=20, freq=2.00, ipc=1.0, platform_activity=0.05,
     ),
 }
 
@@ -378,6 +393,17 @@ FIG12_TAX_PROFILES: Dict[str, Dict[str, float]] = {
     "sparkbench": {
         "app:spark": 0.58, "serialization": 0.10, "compression": 0.08,
         "memory": 0.07, "io_preparation": 0.08, "others": 0.09,
+    },
+    "storage-prod": {
+        "app:storage_engine": 0.16, "kvstore": 0.28, "compression": 0.13,
+        "serialization": 0.05, "rpc": 0.11, "memory": 0.08,
+        "threadmanager": 0.06, "hashing": 0.05, "others": 0.08,
+    },
+    "storagebench": {
+        "app:storage_engine": 0.18, "kvstore": 0.26, "compression": 0.12,
+        "serialization": 0.04, "rpc": 0.10, "memory": 0.08,
+        "threadmanager": 0.06, "hashing": 0.05, "benchmark_clients": 0.05,
+        "others": 0.06,
     },
 }
 

@@ -172,6 +172,72 @@ class TestReporting:
             format_table(["a"], [["x", "extra"]])
 
 
+class TestIoStatHook:
+    def _result(self, extra):
+        from repro.workloads.base import WorkloadResult
+
+        return WorkloadResult(
+            workload="w", sku="SKU2", kernel="6.9", throughput_rps=1.0,
+            latency={}, cpu_util=0.5, kernel_util=0.1,
+            scaling_efficiency=1.0, extra=extra,
+        )
+
+    def test_registered_by_default(self):
+        assert "iostat" in default_hooks().names()
+
+    def test_disabled_without_device_counters(self, taobench_report):
+        """Device-less workloads keep the report shape with a stub
+        section instead of zero-filled noise."""
+        from repro.core.hooks import IoStatHook
+
+        ctx = RunContext(benchmark="w", config=RunConfig(sku_name="SKU2"))
+        section = IoStatHook().after_run(ctx, self._result({}))
+        assert section == {"enabled": False}
+        assert taobench_report.hook_sections["iostat"] == {"enabled": False}
+
+    def test_derived_fields(self):
+        from repro.core.hooks import IoStatHook
+
+        config = RunConfig(sku_name="SKU2")
+        ctx = RunContext(benchmark="w", config=config)
+        extra = {
+            "io_reads": 30.0,
+            "io_writes": 10.0,
+            "io_read_bytes": 3e6,
+            "io_write_bytes": 1e6,
+            "io_queue_wait_s": 0.2,
+            "io_mean_queue_depth": 1.5,
+            "io_device_util": 0.25,
+            "io_compaction_bytes": 2e6,
+            "io_compactions": 2.0,
+            "io_flushes": 4.0,
+            "io_wal_bytes": 5e5,
+            "io_cache_hit_rate": 0.8,
+            "io_bloom_fp_rate": 0.01,
+            "io_stall_seconds": 0.5,
+            "io_stall_events": 3.0,
+            "io_stall_p99_s": 0.08,
+        }
+        section = IoStatHook().after_run(ctx, self._result(extra))
+        assert section["enabled"] is True
+        assert section["device"] == config.sku.storage
+        assert section["read_mb"] == pytest.approx(3.0)
+        assert section["write_mb"] == pytest.approx(1.0)
+        # 0.2s of wait across 40 ops = 5ms/op.
+        assert section["queue_wait_ms_per_op"] == pytest.approx(5.0)
+        assert section["device_util_pct"] == pytest.approx(25.0)
+        assert section["compaction_mb"] == pytest.approx(2.0)
+        assert section["stall_p99_ms"] == pytest.approx(80.0)
+
+    def test_zero_ops_avoids_division(self):
+        from repro.core.hooks import IoStatHook
+
+        ctx = RunContext(benchmark="w", config=RunConfig(sku_name="SKU2"))
+        extra = {"io_reads": 0.0, "io_writes": 0.0}
+        section = IoStatHook().after_run(ctx, self._result(extra))
+        assert section["queue_wait_ms_per_op"] == 0.0
+
+
 class TestTimelineHook:
     def test_series_summarized(self, taobench_report):
         section = taobench_report.hook_sections["timeline"]

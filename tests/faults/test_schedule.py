@@ -56,7 +56,8 @@ class TestFaultSpec:
 
     def test_all_kinds_constructible(self):
         for kind in FAULT_KINDS:
-            magnitude = 1.5 if kind == "server_slowdown" else 0.5
+            multiplier_kind = kind in ("server_slowdown", "disk_degraded")
+            magnitude = 1.5 if multiplier_kind else 0.5
             FaultSpec(kind, 0.1, 0.3, magnitude)
 
 

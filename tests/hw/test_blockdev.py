@@ -1,0 +1,136 @@
+"""Simulated block device: service times, queueing, fault channel."""
+
+import pytest
+
+from repro.hw.blockdev import (
+    NVME_FLASH,
+    SATA_SSD,
+    BlockDevice,
+    BlockDeviceSpec,
+    device_spec_for,
+)
+from repro.sim.engine import Environment
+
+
+def run_io(device, makers):
+    """Spawn one process per I/O generator factory; return service times."""
+    services = []
+
+    def proc(make):
+        service = yield from make()
+        services.append(service)
+
+    for make in makers:
+        device.env.process(proc(make))
+    device.env.run()
+    return services
+
+
+class TestSpec:
+    def test_service_time_composition(self):
+        spec = BlockDeviceSpec(
+            name="toy",
+            queue_depth=2,
+            seq_read_bps=100.0,
+            rand_read_bps=50.0,
+            seq_write_bps=80.0,
+            rand_write_bps=40.0,
+            latency_s=0.5,
+        )
+        assert spec.service_seconds(100, read=True, sequential=True) == 0.5 + 1.0
+        assert spec.service_seconds(100, read=True, sequential=False) == 0.5 + 2.0
+        assert spec.service_seconds(80, read=False, sequential=True) == 0.5 + 1.0
+        assert spec.service_seconds(0, read=False, sequential=False) == 0.5
+
+    def test_sequential_faster_than_random(self):
+        for spec in (SATA_SSD, NVME_FLASH):
+            assert spec.service_seconds(1e6, True, True) < spec.service_seconds(
+                1e6, True, False
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockDeviceSpec("bad", 0, 1.0, 1.0, 1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            BlockDeviceSpec("bad", 1, 0.0, 1.0, 1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            BlockDeviceSpec("bad", 1, 1.0, 1.0, 1.0, 1.0, -0.1)
+        with pytest.raises(ValueError):
+            SATA_SSD.service_seconds(-1, True, True)
+
+    def test_device_spec_for_sku_storage_strings(self):
+        assert device_spec_for("1TB NVMe") is NVME_FLASH
+        assert device_spec_for("512GB NVMe Gen4") is NVME_FLASH
+        assert device_spec_for("256GB SATA") is SATA_SSD
+        assert device_spec_for("spinning rust") is SATA_SSD
+
+
+class TestDevice:
+    def _toy_device(self, queue_depth=1):
+        env = Environment()
+        spec = BlockDeviceSpec(
+            name="toy",
+            queue_depth=queue_depth,
+            seq_read_bps=1000.0,
+            rand_read_bps=500.0,
+            seq_write_bps=1000.0,
+            rand_write_bps=500.0,
+            latency_s=0.1,
+        )
+        return env, BlockDevice(env, spec)
+
+    def test_single_io_accounting(self):
+        env, device = self._toy_device()
+        services = run_io(device, [lambda: device.read(500, sequential=True)])
+        assert services == [pytest.approx(0.6)]  # 0.1 + 500/1000
+        assert env.now == pytest.approx(0.6)
+        assert device.stats.reads == 1
+        assert device.stats.read_bytes == 500
+        assert device.stats.wait_seconds == 0.0
+        assert device.stats.busy_seconds == pytest.approx(0.6)
+
+    def test_queue_depth_contention(self):
+        """Two ops on a depth-1 device serialize: the second op's wall
+        time includes the first op's full service as queue wait."""
+        env, device = self._toy_device(queue_depth=1)
+        run_io(
+            device,
+            [
+                lambda: device.write(400, sequential=True),
+                lambda: device.write(400, sequential=True),
+            ],
+        )
+        assert env.now == pytest.approx(1.0)  # 2 x (0.1 + 0.4), serialized
+        assert device.stats.wait_seconds == pytest.approx(0.5)
+        device.settle()
+        # One op in service the whole sim, plus one queued half of it.
+        assert device.stats.mean_queue_depth(env.now) == pytest.approx(1.5)
+        assert device.stats.utilization(env.now, 1) == pytest.approx(1.0)
+
+    def test_depth_two_runs_concurrently(self):
+        env, device = self._toy_device(queue_depth=2)
+        run_io(
+            device,
+            [
+                lambda: device.write(400, sequential=True),
+                lambda: device.write(400, sequential=True),
+            ],
+        )
+        assert env.now == pytest.approx(0.5)
+        assert device.stats.wait_seconds == 0.0
+
+    def test_fault_slowdown_scales_service(self):
+        env, device = self._toy_device()
+        device.fault_slowdown = 2.0
+        services = run_io(device, [lambda: device.read(500, sequential=True)])
+        assert services == [pytest.approx(1.2)]
+        assert env.now == pytest.approx(1.2)
+
+    def test_reset_stats_opens_fresh_window(self):
+        env, device = self._toy_device()
+        run_io(device, [lambda: device.read(500, sequential=True)])
+        device.reset_stats()
+        assert device.stats.ops == 0
+        assert device.stats.window_start == pytest.approx(0.6)
+        assert device.stats.mean_queue_depth(env.now) == 0.0
+        assert device.stats.utilization(env.now, 1) == 0.0

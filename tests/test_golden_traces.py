@@ -37,8 +37,15 @@ BENCHMARKS = [
     "taobench",
     "sparkbench",
     "videotranscode",
+    "storagebench",
 ]
-FAULT_SCENARIOS = ["brownout", "blackout", "flaky_network", "noisy_neighbor"]
+FAULT_SCENARIOS = [
+    "brownout",
+    "blackout",
+    "flaky_network",
+    "noisy_neighbor",
+    "disk_degraded",
+]
 
 
 def _make_point(benchmark: str, faults: str = "") -> RunPoint:
@@ -63,6 +70,14 @@ def golden_points():
         (f"taobench+{scenario}", _make_point("taobench", faults=scenario))
         for scenario in FAULT_SCENARIOS
     ]
+    # The device-channel fault against the device-backed workload: the
+    # pair that pins compaction interference (stalls, iostat section).
+    cases.append(
+        (
+            "storagebench+disk_degraded",
+            _make_point("storagebench", faults="disk_degraded"),
+        )
+    )
     return cases
 
 

@@ -1,13 +1,18 @@
-"""The memoized TaoBench pre-warm must be invisible in results."""
+"""Memoized setup phases must be invisible in results.
+
+TaoBench memoizes its cache pre-warm; FeedSim applies the same pattern
+to its SLO-search operating point.  Either memo replaying instead of
+recomputing must leave the report byte-identical.
+"""
 
 from repro.exec.executor import execute_point
 from repro.exec.spec import RunPoint
-from repro.workloads import taobench
+from repro.workloads import feedsim, taobench
 
 
-def _point(seed=11):
+def _point(seed=11, benchmark="taobench"):
     return RunPoint(
-        benchmark="taobench",
+        benchmark=benchmark,
         sku="SKU2",
         seed=seed,
         measure_seconds=0.05,
@@ -30,3 +35,33 @@ class TestWarmMemo:
         execute_point(_point(seed=11))
         execute_point(_point(seed=12))  # different size-stream state
         assert len(taobench._WARM_MEMO) == 2
+
+
+class TestFeedsimSearchMemo:
+    def test_memo_hit_is_byte_identical(self):
+        feedsim._SEARCH_MEMO.clear()
+        first = execute_point(_point(benchmark="feedsim"))
+        assert feedsim._SEARCH_MEMO  # search recorded
+        second = execute_point(_point(benchmark="feedsim"))
+        assert first.metric_value == second.metric_value
+        assert first.as_dict() == second.as_dict()
+
+    def test_different_seed_is_a_different_search(self):
+        feedsim._SEARCH_MEMO.clear()
+        execute_point(_point(seed=11, benchmark="feedsim"))
+        execute_point(_point(seed=12, benchmark="feedsim"))
+        assert len(feedsim._SEARCH_MEMO) == 2
+
+    def test_custom_characteristics_bypass_the_memo(self):
+        """Only module-persistent registry profiles are safe memo keys;
+        a caller-built profile object must never populate the memo."""
+        import dataclasses
+
+        from repro.workloads.base import RunConfig
+        from repro.workloads.profiles import BENCHMARK_PROFILES
+
+        feedsim._SEARCH_MEMO.clear()
+        chars = dataclasses.replace(BENCHMARK_PROFILES["feedsim"])
+        wl = feedsim.FeedSim(chars=chars)
+        assert wl._memo_key(RunConfig()) is None
+        assert feedsim._SEARCH_MEMO == {}

@@ -112,6 +112,46 @@ print("early-stop smoke ok: fault reports unchanged, clean run "
       f"({extra['convergence_windows']:.0f} windows), replay identical")
 EOF
 
+echo "== storagebench smoke (run + fault replay + cache round-trip) =="
+python - <<'EOF'
+import json
+
+from repro.exec.executor import SweepExecutor, execute_point
+from repro.exec.spec import RunPoint
+
+base = dict(benchmark="storagebench", sku="SKU2", seed=11,
+            measure_seconds=0.5, warmup_seconds=0.2)
+plain = RunPoint(**base)
+degraded = RunPoint(faults="disk_degraded", **base)
+
+# The device-channel fault must replay deterministically and show up
+# in foreground behavior (stalls, p99) and the iostat section.
+first = execute_point(degraded).as_dict()
+replay = execute_point(degraded).as_dict()
+assert first == replay, "disk_degraded replay is not deterministic"
+clean = execute_point(plain).as_dict()
+iostat = first["hooks"]["iostat"]
+assert iostat["enabled"] and iostat["flushes"] >= 1
+assert iostat["stall_seconds"] > clean["hooks"]["iostat"]["stall_seconds"]
+assert (first["result"]["latency"]["p99"]
+        > clean["result"]["latency"]["p99"])
+
+# Cold sweep executes both points; warm rerun is fully cached.
+points = [plain, degraded]
+cold = SweepExecutor(max_workers=2)
+cold_reports = cold.run(points)
+assert cold.last_stats.executed == 2
+warm = SweepExecutor(max_workers=2)
+warm_reports = warm.run(points)
+assert warm.last_stats.cache_hits == 2 and warm.last_stats.executed == 0
+assert ([json.dumps(r.as_dict(), sort_keys=True) for r in warm_reports]
+        == [json.dumps(r.as_dict(), sort_keys=True) for r in cold_reports])
+print("storagebench smoke ok: disk_degraded replay byte-identical, "
+      f"stall {iostat['stall_seconds']:.2f}s vs "
+      f"{clean['hooks']['iostat']['stall_seconds']:.2f}s clean, "
+      "cold sweep cached + warm rerun fully served")
+EOF
+
 echo "== engine perf smoke (vs BENCH_engine.json quick baseline) =="
 python tools/bench_engine.py --quick --repeat 3 --check BENCH_engine.json
 
