@@ -117,7 +117,10 @@ def _suite_executor(args: argparse.Namespace) -> SweepExecutor:
         cache = None
         use_cache = True
     return SweepExecutor(
-        max_workers=args.parallel, cache=cache, use_cache=use_cache
+        max_workers=args.parallel,
+        cache=cache,
+        use_cache=use_cache,
+        warm_pool=args.warm_pool,
     )
 
 
@@ -139,7 +142,21 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     if args.faults:
         scenario = get_fault_scenario(args.faults)
         print(f"fault scenario: {scenario.name} — {scenario.description}")
-    reports = suite.run_many(skus, kernel=args.kernel, seed=args.seed)
+    on_point = None
+    if args.progress:
+        done = {"n": 0}
+
+        def on_point(point, report):  # noqa: F811 - deliberate rebind
+            done["n"] += 1
+            print(
+                f"  [{done['n']}] {point.workload_name} on {point.sku}: "
+                f"{report.metric_value:.4g}",
+                file=sys.stderr,
+            )
+
+    reports = suite.run_many(
+        skus, kernel=args.kernel, seed=args.seed, on_point=on_point
+    )
     for sku, report in reports.items():
         if len(reports) > 1:
             print(f"\n== {sku} ==")
@@ -188,8 +205,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(
             f"\nsweep: {stats.unique_points} unique runs, "
             f"{stats.cache_hits} cache hits, {stats.executed} executed "
-            f"on {stats.workers} worker(s) in {stats.elapsed_seconds:.1f}s"
+            f"on {stats.workers} worker(s) [{stats.pool_mode}] "
+            f"in {stats.elapsed_seconds:.1f}s"
         )
+        if stats.pool_mode == "warm":
+            print(
+                f"warm pool: {stats.spawned} spawned, {stats.reused} reused, "
+                f"{stats.respawned} respawned, "
+                f"{stats.bytes_shipped / 1024:.1f} KiB shipped"
+            )
     if args.json:
         payload: Dict[str, object]
         if len(reports) == 1:
@@ -281,6 +305,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker processes for the sweep (1 = in-process)",
+    )
+    p_suite.add_argument(
+        "--warm-pool",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="use the persistent warm worker pool for parallel sweeps "
+        "(default: on, or DCPERF_WARM_POOL; --no-warm-pool forces a "
+        "cold per-sweep pool)",
+    )
+    p_suite.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream each finished point to stderr as the sweep runs",
     )
     p_suite.add_argument(
         "--no-cache",

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.benchmark import BenchmarkReport
 from repro.core.scoring import BASELINE_SKU, ScoreBoard
 from repro.exec.cache import RunCache
-from repro.exec.executor import SweepExecutor
+from repro.exec.executor import OnPoint, SweepExecutor
 from repro.exec.spec import RunPoint, run_fingerprint
 from repro.workloads.registry import dcperf_benchmarks
 
@@ -120,13 +120,21 @@ class DCPerfSuite:
         return run_fingerprint(point)
 
     def run_many(
-        self, skus: Sequence[str], kernel: str = "6.9", seed: int = 7
+        self,
+        skus: Sequence[str],
+        kernel: str = "6.9",
+        seed: int = 7,
+        on_point: Optional[OnPoint] = None,
     ) -> Dict[str, SuiteReport]:
         """Run and score the suite on several SKUs in one sweep.
 
         Baseline and per-SKU points are expanded into a single grid so
         a parallel executor can overlap everything; results come back
         deterministically in spec order regardless of worker count.
+        ``on_point`` streams each unique point's report as it resolves
+        (before scoring), so long suite sweeps can report progress —
+        with the warm pool, completions arrive while workers are still
+        busy with the rest of the grid.
         """
         skus = list(skus)
         names = self.benchmark_names
@@ -136,7 +144,7 @@ class DCPerfSuite:
         ]
         for sku in skus:
             points.extend(self._point(name, sku, kernel, seed) for name in names)
-        all_reports = self.executor.run(points)
+        all_reports = self.executor.run(points, on_point=on_point)
 
         stride = len(names)
         for name, report in zip(names, all_reports[:stride]):
@@ -166,9 +174,17 @@ class DCPerfSuite:
             )
         return out
 
-    def run(self, sku: str, kernel: str = "6.9", seed: int = 7) -> SuiteReport:
+    def run(
+        self,
+        sku: str,
+        kernel: str = "6.9",
+        seed: int = 7,
+        on_point: Optional[OnPoint] = None,
+    ) -> SuiteReport:
         """Run every benchmark on a SKU and score against the baseline."""
-        return self.run_many([sku], kernel=kernel, seed=seed)[sku]
+        return self.run_many(
+            [sku], kernel=kernel, seed=seed, on_point=on_point
+        )[sku]
 
     def production_score(self, suite_report: SuiteReport) -> float:
         """Power-weighted aggregate (the Figure 2 'Production' method)."""

@@ -14,16 +14,33 @@ package makes every sweep in the repo parallel and memoized:
 * :class:`~repro.exec.executor.SweepExecutor` — expands, deduplicates,
   fans points out over a process pool, and merges results back in spec
   order so parallel output is identical to serial.
+* :class:`~repro.exec.workerpool.WarmPool` — a process-global pool of
+  persistent, fingerprint-keyed worker processes with a shared-memory
+  binary-codec result channel; repeated sweeps reuse warm workers
+  instead of cold-starting a pool per sweep.
 """
 
 from repro.exec.cache import RunCache, cache_from_env, default_cache_dir
 from repro.exec.executor import SweepExecutor, SweepStats, execute_point
+from repro.exec.serialize import (
+    report_from_bytes,
+    report_from_dict,
+    report_to_bytes,
+    report_to_dict,
+)
 from repro.exec.spec import (
     RunPoint,
     code_fingerprint,
     expand_grid,
     model_fingerprint,
+    pool_key,
     run_fingerprint,
+)
+from repro.exec.workerpool import (
+    WarmPool,
+    get_warm_pool,
+    shutdown_warm_pool,
+    warm_pool_enabled,
 )
 
 __all__ = [
@@ -31,11 +48,20 @@ __all__ = [
     "RunPoint",
     "SweepExecutor",
     "SweepStats",
+    "WarmPool",
     "cache_from_env",
     "code_fingerprint",
     "default_cache_dir",
     "execute_point",
     "expand_grid",
+    "get_warm_pool",
     "model_fingerprint",
+    "pool_key",
+    "report_from_bytes",
+    "report_from_dict",
+    "report_to_bytes",
+    "report_to_dict",
     "run_fingerprint",
+    "shutdown_warm_pool",
+    "warm_pool_enabled",
 ]

@@ -15,8 +15,17 @@ calibration tools.  It guarantees:
   and package source, so edits invalidate automatically.
 
 ``max_workers=1`` executes in-process (no pool, plain stack traces —
-the debuggable path); anything higher fans out over a
-:class:`concurrent.futures.ProcessPoolExecutor`.
+the debuggable path).  Anything higher fans out over the process-global
+:class:`~repro.exec.workerpool.WarmPool` of persistent workers —
+repeated sweeps reuse already-warm processes and results stream back
+through a shared-memory binary-codec channel.  ``warm_pool=False`` (or
+``DCPERF_WARM_POOL=0``) falls back to a cold
+:class:`concurrent.futures.ProcessPoolExecutor` per sweep.
+
+Completions stream: pass ``on_point`` to :meth:`SweepExecutor.run` /
+:meth:`~SweepExecutor.run_sweep` to observe each unique point's report
+the moment it resolves (cache hit, pooled completion, or in-process
+finish) — long sweeps can render and persist incrementally.
 """
 
 from __future__ import annotations
@@ -24,7 +33,15 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.exec.cache import RunCache, cache_from_env
 from repro.exec.serialize import report_from_dict, report_to_dict
@@ -32,6 +49,9 @@ from repro.exec.spec import RunPoint, run_fingerprint
 
 if TYPE_CHECKING:  # deferred: repro.core's __init__ imports repro.exec
     from repro.core.benchmark import BenchmarkReport
+
+#: Incremental completion callback: ``(point, report)`` per unique point.
+OnPoint = Callable[[RunPoint, "BenchmarkReport"], None]
 
 
 def auto_workers() -> int:
@@ -84,6 +104,9 @@ class SweepStats:
     unique_points: int = 0
     cache_hits: int = 0
     executed: int = 0
+    #: Worker processes the sweep *actually* ran on: 1 for the
+    #: in-process path, the effective pool parallelism otherwise
+    #: (never more than the number of pool tasks).
     workers: int = 1
     elapsed_seconds: float = 0.0
     #: Points that timed out or were lost to a worker crash and were
@@ -91,6 +114,14 @@ class SweepStats:
     recovered: int = 0
     #: Points whose pooled execution exceeded the per-point timeout.
     timeouts: int = 0
+    #: Which execution path ran: ``"inproc"`` (no pool), ``"cold"``
+    #: (fresh ProcessPoolExecutor), or ``"warm"`` (persistent pool).
+    pool_mode: str = "inproc"
+    #: Warm-pool accounting for this sweep (zero on other paths).
+    spawned: int = 0
+    reused: int = 0
+    respawned: int = 0
+    bytes_shipped: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -102,6 +133,11 @@ class SweepStats:
             "elapsed_seconds": self.elapsed_seconds,
             "recovered": self.recovered,
             "timeouts": self.timeouts,
+            "pool_mode": self.pool_mode,
+            "spawned": self.spawned,
+            "reused": self.reused,
+            "respawned": self.respawned,
+            "bytes_shipped": self.bytes_shipped,
         }
 
 
@@ -123,6 +159,7 @@ class SweepExecutor:
         cache: Optional[RunCache] = None,
         use_cache: bool = True,
         point_timeout_s: Optional[float] = None,
+        warm_pool: Optional[bool] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -133,7 +170,15 @@ class SweepExecutor:
         self.max_workers = max_workers or auto_workers()
         #: Wall-clock budget per pooled point; a straggler past this is
         #: abandoned and re-run in-process.  ``None`` = no timeout.
+        #: On the warm path the straggler's worker is killed and
+        #: respawned, so no orphan process outlives the deadline.
         self.point_timeout_s = point_timeout_s
+        #: ``None`` defers to ``DCPERF_WARM_POOL`` (default: enabled).
+        if warm_pool is None:
+            from repro.exec.workerpool import warm_pool_enabled
+
+            warm_pool = warm_pool_enabled()
+        self.warm_pool = warm_pool
         #: ``None`` disables persistence; by default the environment
         #: decides (``DCPERF_CACHE``/``DCPERF_CACHE_DIR``).
         self.cache = cache if cache is not None else (
@@ -142,11 +187,19 @@ class SweepExecutor:
         self.last_stats: Optional[SweepStats] = None
 
     # -- public API -----------------------------------------------------------
-    def run(self, points: Sequence[RunPoint]) -> List[BenchmarkReport]:
+    def run(
+        self,
+        points: Sequence[RunPoint],
+        on_point: Optional[OnPoint] = None,
+    ) -> List[BenchmarkReport]:
         """Reports for ``points``, in the same order as ``points``."""
-        return self.run_sweep(points).reports
+        return self.run_sweep(points, on_point=on_point).reports
 
-    def run_sweep(self, points: Sequence[RunPoint]) -> SweepResult:
+    def run_sweep(
+        self,
+        points: Sequence[RunPoint],
+        on_point: Optional[OnPoint] = None,
+    ) -> SweepResult:
         started = time.monotonic()
         points = list(points)
         fingerprints = [run_fingerprint(p) for p in points]
@@ -161,6 +214,7 @@ class SweepExecutor:
             cached = self.cache.get(fp) if self.cache is not None else None
             if cached is not None:
                 payloads[fp] = cached
+                self._notify(on_point, point, cached)
             else:
                 todo.append((fp, point))
 
@@ -169,28 +223,41 @@ class SweepExecutor:
             unique_points=len(seen),
             cache_hits=len(seen) - len(todo),
             executed=len(todo),
-            workers=min(self.max_workers, max(1, len(todo))),
         )
 
         if todo:
-            if stats.workers == 1:
+            workers = min(self.max_workers, len(todo))
+            if workers == 1:
+                stats.workers = 1
+                stats.pool_mode = "inproc"
                 for fp, point in todo:
                     payloads[fp] = self._finish_point(
-                        fp, point, _run_point_payload(point)
+                        fp, point, _run_point_payload(point), on_point
                     )
             else:
-                pooled, lost, timeouts = self._run_pooled(todo, stats.workers)
+                if self.warm_pool:
+                    stats.pool_mode = "warm"
+                    pooled, lost, timeouts = self._run_warm(
+                        todo, workers, stats, on_point
+                    )
+                else:
+                    stats.pool_mode = "cold"
+                    pooled, lost, timeouts = self._run_pooled(todo, workers)
+                    stats.workers = self._cold_effective_workers(
+                        len(todo), workers
+                    )
                 payloads.update(pooled)
                 stats.timeouts = timeouts
-                # Points lost to a worker crash (BrokenProcessPool) or
-                # to the per-point timeout are re-run in-process — the
-                # debuggable path — so one bad point cannot sink a
-                # whole sweep.
+                # Points lost to a worker crash or to the per-point
+                # timeout are re-run in-process — the debuggable path —
+                # so one bad point cannot sink a whole sweep.
                 stats.recovered = len(lost)
                 for fp, point in lost:
                     payloads[fp] = self._finish_point(
-                        fp, point, _run_point_payload(point)
+                        fp, point, _run_point_payload(point), on_point
                     )
+        else:
+            stats.workers = 1
 
         # Materialize a fresh report per output position: callers
         # mutate `.score`, so deduplicated positions must not alias.
@@ -202,8 +269,20 @@ class SweepExecutor:
         )
 
     # -- internals ------------------------------------------------------------
+    @staticmethod
+    def _notify(
+        on_point: Optional[OnPoint], point: RunPoint, payload: Dict[str, object]
+    ) -> None:
+        """Stream one resolved point to the caller, as its own object."""
+        if on_point is not None:
+            on_point(point, report_from_dict(payload))
+
     def _finish_point(
-        self, fp: str, point: RunPoint, payload: Dict[str, object]
+        self,
+        fp: str,
+        point: RunPoint,
+        payload: Dict[str, object],
+        on_point: Optional[OnPoint] = None,
     ) -> Dict[str, object]:
         """Persist one completed point immediately (partial resume).
 
@@ -213,7 +292,50 @@ class SweepExecutor:
         """
         if self.cache is not None:
             self.cache.put(fp, point, payload)
+        self._notify(on_point, point, payload)
         return payload
+
+    def _run_warm(
+        self,
+        todo: Sequence[Tuple[str, RunPoint]],
+        workers: int,
+        stats: SweepStats,
+        on_point: Optional[OnPoint],
+    ) -> Tuple[Dict[str, Dict[str, object]], List[Tuple[str, RunPoint]], int]:
+        """Fan ``todo`` out over the process-global warm pool.
+
+        Completions stream back as they finish: each one is cached (and
+        surfaced through ``on_point``) before the sweep is over, so a
+        killed sweep keeps every finished point and long sweeps render
+        incrementally.
+        """
+        from repro.exec.workerpool import get_warm_pool
+
+        pool = get_warm_pool()
+        completed, lost, timeouts, run = pool.run_points(
+            todo,
+            workers=workers,
+            timeout_s=self.point_timeout_s,
+            on_result=lambda fp, point, payload: self._finish_point(
+                fp, point, payload, on_point
+            ),
+        )
+        stats.workers = run.workers
+        stats.spawned = run.spawned
+        stats.reused = run.reused
+        stats.respawned = run.respawned
+        stats.bytes_shipped = run.bytes_shipped
+        return completed, lost, timeouts
+
+    @staticmethod
+    def _cold_effective_workers(n_todo: int, workers: int) -> int:
+        """Parallelism the cold path actually achieves.
+
+        The unchunked (timeout) path runs one task per point; the
+        chunked path runs one task per chunk — with fewer chunks than
+        workers, the surplus workers never receive a task.
+        """
+        return min(workers, n_todo)
 
     def _run_pooled(
         self, todo: Sequence[Tuple[str, RunPoint]], workers: int

@@ -1,0 +1,613 @@
+"""Warm worker pool with shared-memory result transport.
+
+Every sweep used to build a fresh ``ProcessPoolExecutor`` per
+``run_sweep`` call: each worker paid process startup plus the
+per-process warm-setup of every workload model it touched, per sweep.
+This module keeps a **process-global pool of persistent workers**
+(:class:`WarmPool`) alive across sweeps instead — the ModelOps
+warm-isolated-subprocess-pool shape — so repeated sweeps reuse
+already-warm processes:
+
+* **Keyed workers** — each worker is tagged with the model/code
+  fingerprint it was spawned under (:func:`repro.exec.spec.pool_key`).
+  When the source tree or calibrated parameters change, the key
+  changes and stale workers self-retire on the next acquire, exactly
+  mirroring the run cache's self-invalidation.
+* **Shared-memory results** — workers encode each finished report with
+  the compact binary codec (:func:`repro.exec.serialize.dict_to_bytes`)
+  and push it through a single-producer/single-consumer ring in
+  ``multiprocessing.shared_memory``; only a tiny completion record
+  crosses the pipe.  Where shared memory is unavailable (or disabled
+  via ``DCPERF_WARM_POOL_SHM=0``) the bytes ride the pipe instead —
+  same codec, same results.
+* **Workload-affinity dispatch** — warm-setup memos (generated
+  datasets, validation results, pre-warmed cache sets) live per
+  process, so dispatch prefers handing a point to a worker that has
+  run its workload before, falling back to any idle worker.  Repeat
+  sweeps land on already-warm processes even when spec order changes.
+* **Streaming completions** — results surface through an ``on_result``
+  callback as each point finishes, so callers can persist per point
+  and render long sweeps incrementally.
+* **Per-worker fault recovery** — a crashed worker (pipe EOF) or a
+  straggler past the per-point deadline is killed and respawned
+  *individually*; the rest of the pool keeps draining the sweep.  No
+  stragglers outlive their deadline (the cold pool leaked them until
+  interpreter exit).
+
+Environment knobs::
+
+    DCPERF_WARM_POOL=0         disable the warm pool (cold pools again)
+    DCPERF_WARM_POOL_SIZE=N    cap the number of persistent workers
+    DCPERF_WARM_POOL_SHM=0     force pipe transport (no shared memory)
+    DCPERF_SHM_RING_BYTES=N    per-worker ring capacity (default 1 MiB)
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import struct
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.serialize import dict_from_bytes, dict_to_bytes
+from repro.exec.spec import RunPoint, pool_key
+
+try:  # gate: absent on some minimal builds; the pipe fallback covers it
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - depends on interpreter build
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Test seam shared with the in-process path: a per-point sleep that
+#: (unlike a monkeypatch) can be carried into pool workers.
+FAULT_DELAY_ENV = "DCPERF_FAULT_POINT_DELAY"
+
+WARM_POOL_ENV = "DCPERF_WARM_POOL"
+WARM_POOL_SIZE_ENV = "DCPERF_WARM_POOL_SIZE"
+WARM_POOL_SHM_ENV = "DCPERF_WARM_POOL_SHM"
+RING_BYTES_ENV = "DCPERF_SHM_RING_BYTES"
+
+DEFAULT_RING_BYTES = 1 << 20
+
+_MSG_RUN = "run"
+_MSG_STOP = "stop"
+_MSG_OK = "ok"
+_MSG_ERR = "err"
+
+_VIA_SHM = "shm"
+_VIA_PIPE = "pipe"
+
+
+def _env_flag(name: str, default: bool = True) -> bool:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "false", "off", "no")
+
+
+def warm_pool_enabled() -> bool:
+    """Whether sweeps should use the warm pool (default: yes)."""
+    return _env_flag(WARM_POOL_ENV, default=True)
+
+
+def _pool_size_cap() -> Optional[int]:
+    raw = os.environ.get(WARM_POOL_SIZE_ENV, "").strip()
+    if not raw:
+        return None
+    size = int(raw)
+    return size if size >= 1 else None
+
+
+def _ring_bytes() -> int:
+    raw = os.environ.get(RING_BYTES_ENV, "").strip()
+    return max(4096, int(raw)) if raw else DEFAULT_RING_BYTES
+
+
+# -- shared-memory ring --------------------------------------------------------
+#
+# Single producer (the worker), single consumer (the parent).  The
+# first 16 bytes hold two little-endian u64 counters of *total* bytes
+# ever written / read; each side owns exactly one counter, so no lock
+# is needed.  Records are [u32 length][payload] and wrap byte-wise
+# around the data region.  The producer publishes its counter only
+# after the full record is copied, so the consumer never observes a
+# partial record; the consumer is only told to read (via the pipe
+# completion message) after publication, so it never spins.
+
+_HEADER = 16
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+
+class _RingWriter:
+    def __init__(self, buf: memoryview) -> None:
+        self._buf = buf
+        self._cap = len(buf) - _HEADER
+        self._written = _U64.unpack_from(buf, 0)[0]
+
+    def _read_total(self) -> int:
+        return _U64.unpack_from(self._buf, 8)[0]
+
+    def _copy_in(self, data: bytes) -> None:
+        pos = self._written % self._cap
+        first = min(len(data), self._cap - pos)
+        self._buf[_HEADER + pos : _HEADER + pos + first] = data[:first]
+        if first < len(data):
+            self._buf[_HEADER : _HEADER + len(data) - first] = data[first:]
+        self._written += len(data)
+
+    def write(self, data: bytes, wait_s: float = 0.25) -> bool:
+        """Copy one framed record in; ``False`` if it cannot fit."""
+        need = _U32.size + len(data)
+        if need > self._cap:
+            return False
+        deadline = time.monotonic() + wait_s
+        while self._cap - (self._written - self._read_total()) < need:
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.0005)
+        self._copy_in(_U32.pack(len(data)))
+        self._copy_in(data)
+        _U64.pack_into(self._buf, 0, self._written)
+        return True
+
+
+class _RingReader:
+    def __init__(self, buf: memoryview) -> None:
+        self._buf = buf
+        self._cap = len(buf) - _HEADER
+        self._read = _U64.unpack_from(buf, 8)[0]
+
+    def _copy_out(self, length: int) -> bytes:
+        pos = self._read % self._cap
+        first = min(length, self._cap - pos)
+        out = bytes(self._buf[_HEADER + pos : _HEADER + pos + first])
+        if first < length:
+            out += bytes(self._buf[_HEADER : _HEADER + length - first])
+        self._read += length
+        return out
+
+    def read(self) -> bytes:
+        """Pop the next record (the completion message guarantees one)."""
+        length = _U32.unpack(self._copy_out(_U32.size))[0]
+        data = self._copy_out(length)
+        _U64.pack_into(self._buf, 8, self._read)
+        return data
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _encode_exc(exc: BaseException) -> Tuple[str, bytes]:
+    try:
+        return "pickle", pickle.dumps(exc)
+    except Exception:
+        import traceback
+
+        detail = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return "str", detail.encode("utf-8", "replace")
+
+
+def _decode_exc(encoded: Tuple[str, bytes]) -> BaseException:
+    kind, body = encoded
+    if kind == "pickle":
+        try:
+            exc = pickle.loads(body)
+            if isinstance(exc, BaseException):
+                return exc
+        except Exception:
+            pass
+        body = repr(body).encode("utf-8")
+    return RuntimeError(
+        "warm pool worker raised:\n" + body.decode("utf-8", "replace")
+    )
+
+
+def _worker_main(conn, shm_name: Optional[str]) -> None:
+    """Persistent worker loop: point dicts in, binary reports out.
+
+    Top level (picklable) so the pool works under any multiprocessing
+    start method.  The heavy imports happen once, here — that is the
+    whole point of keeping the process warm.
+    """
+    from repro.exec.executor import _run_point_payload
+
+    ring = None
+    shm = None
+    if shm_name is not None and _shared_memory is not None:
+        try:
+            shm = _shared_memory.SharedMemory(name=shm_name)
+            ring = _RingWriter(shm.buf)
+        except (OSError, ValueError):
+            ring = None
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            if message[0] == _MSG_STOP:
+                break
+            _, task_id, point_payload, delay = message
+            try:
+                # Mirror the parent's test-delay seam into this process
+                # per task: a warm worker may have been spawned before
+                # (or after) the parent set the variable.
+                if delay:
+                    os.environ[FAULT_DELAY_ENV] = delay
+                else:
+                    os.environ.pop(FAULT_DELAY_ENV, None)
+                payload = _run_point_payload(RunPoint.from_dict(point_payload))
+                data = dict_to_bytes(payload)
+            except BaseException as exc:
+                conn.send((_MSG_ERR, task_id, _encode_exc(exc)))
+                continue
+            if ring is not None and ring.write(data):
+                conn.send((_MSG_OK, task_id, len(data), _VIA_SHM))
+            else:
+                # Oversized record or no shared memory: same bytes,
+                # shipped through the pipe instead.
+                conn.send((_MSG_OK, task_id, data, _VIA_PIPE))
+    finally:
+        conn.close()
+        if shm is not None:
+            shm.close()
+
+
+# -- parent-side pool ----------------------------------------------------------
+
+
+@dataclass
+class PoolRunStats:
+    """Accounting for one :meth:`WarmPool.run_points` call."""
+
+    workers: int = 0
+    spawned: int = 0
+    reused: int = 0
+    respawned: int = 0
+    bytes_shipped: int = 0
+
+    def merge_into(self, other: "PoolRunStats") -> None:
+        other.workers = max(other.workers, self.workers)
+        other.spawned += self.spawned
+        other.reused += self.reused
+        other.respawned += self.respawned
+        other.bytes_shipped += self.bytes_shipped
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "workers": self.workers,
+            "spawned": self.spawned,
+            "reused": self.reused,
+            "respawned": self.respawned,
+            "bytes_shipped": self.bytes_shipped,
+        }
+
+
+class _Worker:
+    """One persistent worker process plus its transport endpoints."""
+
+    def __init__(self, key: str, ctx, ring_bytes: int, use_shm: bool) -> None:
+        self.key = key
+        #: Workloads this process has already run — its per-process
+        #: warm-setup memos (datasets, validation results, warm cache
+        #: sets) make repeats much cheaper, so dispatch prefers them.
+        self.seen: set = set()
+        self.shm = None
+        self.reader: Optional[_RingReader] = None
+        shm_name = None
+        if use_shm and _shared_memory is not None:
+            try:
+                self.shm = _shared_memory.SharedMemory(
+                    create=True, size=_HEADER + ring_bytes
+                )
+                self.shm.buf[:_HEADER] = b"\x00" * _HEADER
+                shm_name = self.shm.name
+            except (OSError, ValueError):
+                self.shm = None
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, shm_name),
+            name="dcperf-warm-worker",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        if self.shm is not None:
+            self.reader = _RingReader(self.shm.buf)
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def _release(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.shm is not None:
+            self.reader = None
+            try:
+                self.shm.close()
+                self.shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+            self.shm = None
+
+    def stop(self, grace_s: float = 1.0) -> None:
+        """Cooperative shutdown; escalates to kill after ``grace_s``."""
+        try:
+            self.conn.send((_MSG_STOP,))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=grace_s)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=grace_s)
+        self._release()
+
+    def kill(self) -> None:
+        """Immediate SIGKILL — for stragglers and crashed workers."""
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(timeout=1.0)
+        self._release()
+
+
+class WarmPool:
+    """A keyed pool of persistent workers, reused across sweeps.
+
+    One pool instance normally serves the whole process (see
+    :func:`get_warm_pool`); ``SweepExecutor`` acquires workers from it
+    per sweep instead of constructing a cold ``ProcessPoolExecutor``.
+    """
+
+    def __init__(
+        self,
+        size: Optional[int] = None,
+        use_shm: Optional[bool] = None,
+        ring_bytes: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.size = size if size is not None else _pool_size_cap()
+        self.use_shm = (
+            use_shm
+            if use_shm is not None
+            else _env_flag(WARM_POOL_SHM_ENV, default=True)
+        ) and _shared_memory is not None
+        self.ring_bytes = ring_bytes if ring_bytes is not None else _ring_bytes()
+        self._ctx = get_context(start_method) if start_method else get_context()
+        self._workers: List[_Worker] = []
+        self._task_seq = 0
+        self.closed = False
+        #: Lifetime totals across every ``run_points`` call.
+        self.stats = PoolRunStats()
+
+    # -- lifecycle ------------------------------------------------------------
+    def worker_pids(self) -> List[int]:
+        return [w.pid for w in self._workers if w.pid is not None]
+
+    def alive_count(self) -> int:
+        return sum(1 for w in self._workers if w.alive())
+
+    def close(self) -> None:
+        """Stop every worker and release their shared-memory rings."""
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+        self.closed = True
+
+    def _spawn(self, key: str) -> _Worker:
+        return _Worker(key, self._ctx, self.ring_bytes, self.use_shm)
+
+    def _respawn(self, worker: _Worker, run: PoolRunStats) -> _Worker:
+        """Kill one worker and replace it in place with a fresh one."""
+        worker.kill()
+        replacement = self._spawn(worker.key)
+        self._workers[self._workers.index(worker)] = replacement
+        run.respawned += 1
+        return replacement
+
+    def _ensure(self, key: str, count: int, run: PoolRunStats) -> List[_Worker]:
+        """``count`` live workers keyed ``key``; stale ones self-retire."""
+        if self.closed:
+            raise RuntimeError("WarmPool is closed")
+        if self.size is not None:
+            count = max(1, min(count, self.size))
+        keep: List[_Worker] = []
+        for worker in self._workers:
+            if worker.key == key and worker.alive():
+                keep.append(worker)
+            else:
+                # Stale fingerprint or dead process: retire it.
+                worker.stop(grace_s=0.2)
+        run.reused += min(len(keep), count)
+        while len(keep) < count:
+            keep.append(self._spawn(key))
+            run.spawned += 1
+        self._workers = keep
+        run.workers = max(run.workers, count)
+        return keep[:count]
+
+    # -- execution ------------------------------------------------------------
+    def run_points(
+        self,
+        todo: Sequence[Tuple[str, RunPoint]],
+        workers: int,
+        key: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        on_result: Optional[
+            Callable[[str, RunPoint, Dict[str, object]], None]
+        ] = None,
+    ) -> Tuple[
+        Dict[str, Dict[str, object]],
+        List[Tuple[str, RunPoint]],
+        int,
+        PoolRunStats,
+    ]:
+        """Drain ``todo`` over the pool, streaming completions.
+
+        Returns ``(completed payloads, lost points, timeout count,
+        per-call stats)``.  Lost points are those whose worker crashed
+        or blew the per-point deadline — in both cases that one worker
+        is killed and respawned while the rest keep working; the caller
+        re-runs lost points in-process.  Application-level exceptions
+        propagate (they would fail in-process too); the pool stays
+        coherent afterwards because mid-task workers are respawned
+        before the exception leaves this frame.
+        """
+        run = PoolRunStats()
+        completed: Dict[str, Dict[str, object]] = {}
+        lost: List[Tuple[str, RunPoint]] = []
+        timeouts = 0
+        if not todo:
+            return completed, lost, timeouts, run
+        pool_workers = self._ensure(
+            key or pool_key(), max(1, min(workers, len(todo))), run
+        )
+        pending = deque(todo)
+        delay = os.environ.get(FAULT_DELAY_ENV, "")
+        # worker -> (task_id, fingerprint, point, deadline)
+        inflight: Dict[_Worker, Tuple[int, str, RunPoint, Optional[float]]] = {}
+
+        def take_for(worker: _Worker) -> Tuple[str, RunPoint]:
+            """Pop the next point for ``worker``, preferring a workload
+            it has run before: warm-setup memos live per process, so
+            affinity keeps repeat sweeps on already-warm workers.  Falls
+            back to the queue head — a worker never idles while work is
+            pending."""
+            for index, (fp, point) in enumerate(pending):
+                if point.workload_name in worker.seen:
+                    del pending[index]
+                    return fp, point
+            return pending.popleft()
+
+        def dispatch(worker: _Worker) -> None:
+            while pending:
+                fp, point = take_for(worker)
+                self._task_seq += 1
+                task_id = self._task_seq
+                try:
+                    worker.conn.send((_MSG_RUN, task_id, point.as_dict(), delay))
+                except (BrokenPipeError, OSError):
+                    pending.appendleft((fp, point))
+                    worker = self._respawn(worker, run)
+                    continue
+                worker.seen.add(point.workload_name)
+                deadline = (
+                    time.monotonic() + timeout_s if timeout_s is not None else None
+                )
+                inflight[worker] = (task_id, fp, point, deadline)
+                return
+
+        for worker in pool_workers:
+            dispatch(worker)
+
+        try:
+            while inflight:
+                now = time.monotonic()
+                deadlines = [
+                    entry[3] for entry in inflight.values() if entry[3] is not None
+                ]
+                wait_s = (
+                    max(0.0, min(deadlines) - now) if deadlines else None
+                )
+                ready = mp_connection.wait(
+                    [w.conn for w in inflight], timeout=wait_s
+                )
+                if not ready:
+                    # Deadline expired with nothing to read: kill and
+                    # respawn exactly the workers past their deadline.
+                    now = time.monotonic()
+                    stragglers = [
+                        w
+                        for w, entry in inflight.items()
+                        if entry[3] is not None and entry[3] <= now
+                    ]
+                    for worker in stragglers:
+                        _, fp, point, _ = inflight.pop(worker)
+                        timeouts += 1
+                        lost.append((fp, point))
+                        dispatch(self._respawn(worker, run))
+                    continue
+                by_conn = {w.conn: w for w in inflight}
+                for conn in ready:
+                    worker = by_conn[conn]
+                    task_id, fp, point, _ = inflight[worker]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        # Worker crashed mid-task (OOM-kill, segfault):
+                        # only this worker is replaced.
+                        inflight.pop(worker)
+                        lost.append((fp, point))
+                        dispatch(self._respawn(worker, run))
+                        continue
+                    kind = message[0]
+                    if kind == _MSG_ERR:
+                        inflight.pop(worker)
+                        raise _decode_exc(message[2])
+                    _, done_id, body, transport = message
+                    if transport == _VIA_SHM and worker.reader is not None:
+                        data = worker.reader.read()
+                    else:
+                        data = body
+                    if done_id != task_id:
+                        # Stale completion from an abandoned task; the
+                        # ring record (if any) is already consumed.
+                        continue
+                    run.bytes_shipped += len(data)
+                    inflight.pop(worker)
+                    payload = dict_from_bytes(data)
+                    completed[fp] = payload
+                    if on_result is not None:
+                        on_result(fp, point, payload)
+                    dispatch(worker)
+        except BaseException:
+            # Leave no worker mid-task: the next run_points call must
+            # start from an idle pool with an empty transport.
+            for worker in list(inflight):
+                self._respawn(worker, run)
+            raise
+        finally:
+            run.merge_into(self.stats)
+
+        # Only reachable with points undone if every dispatch attempt
+        # failed (e.g. workers dying faster than they respawn).
+        lost.extend(pending)
+        return completed, lost, timeouts, run
+
+
+# -- process-global pool -------------------------------------------------------
+
+_global_pool: Optional[WarmPool] = None
+
+
+def get_warm_pool() -> WarmPool:
+    """The process-global pool, created (and atexit-hooked) on demand."""
+    global _global_pool
+    if _global_pool is None or _global_pool.closed:
+        _global_pool = WarmPool()
+    return _global_pool
+
+
+def shutdown_warm_pool() -> None:
+    """Close the global pool (idempotent; also runs atexit)."""
+    global _global_pool
+    if _global_pool is not None:
+        _global_pool.close()
+        _global_pool = None
+
+
+atexit.register(shutdown_warm_pool)

@@ -30,6 +30,8 @@ class TestSweepExecutor:
         assert stats.total_points == 3
         assert stats.unique_points == 1
         assert stats.executed == 1
+        assert stats.pool_mode == "inproc"
+        assert stats.workers == 1
         assert len(reports) == 3
         # Fresh object per position: scoring mutates .score in place.
         assert len({id(r) for r in reports}) == 3
@@ -77,9 +79,11 @@ class TestSweepExecutor:
 
 
 class TestParallelDeterminism:
-    """ISSUE acceptance: parallel output is byte-identical to serial."""
+    """ISSUE acceptance: parallel output is byte-identical to serial —
+    on the warm path and on the cold fallback alike."""
 
-    def test_pooled_matches_serial(self):
+    @pytest.mark.parametrize("warm", [True, False], ids=["warm", "cold"])
+    def test_pooled_matches_serial(self, warm):
         points = [
             fast_point("taobench", sku="SKU1"),
             fast_point("taobench", sku="SKU2"),
@@ -87,13 +91,45 @@ class TestParallelDeterminism:
             fast_point("feedsim", sku="SKU2"),
         ]
         serial = SweepExecutor(max_workers=1, cache=None, use_cache=False)
-        pooled = SweepExecutor(max_workers=4, cache=None, use_cache=False)
+        pooled = SweepExecutor(
+            max_workers=4, cache=None, use_cache=False, warm_pool=warm
+        )
         serial_reports = serial.run(points)
         pooled_reports = pooled.run(points)
         assert pooled.last_stats.workers > 1
+        assert pooled.last_stats.pool_mode == ("warm" if warm else "cold")
         assert [r.as_dict() for r in serial_reports] == [
             r.as_dict() for r in pooled_reports
         ]
+
+    def test_workers_capped_by_todo_not_max_workers(self):
+        """Satellite: ``stats.workers`` reports the parallelism actually
+        used — 2 points on a 16-worker executor is 2 workers, and a
+        fully cached sweep runs on no pool at all."""
+        points = [fast_point("taobench"), fast_point("feedsim")]
+        executor = SweepExecutor(max_workers=16, cache=None, use_cache=False)
+        executor.run(points)
+        assert executor.last_stats.workers == 2
+
+    def test_fully_cached_sweep_reports_inproc(self, tmp_path):
+        from repro.exec.cache import RunCache
+
+        points = [fast_point("taobench"), fast_point("feedsim")]
+        SweepExecutor(max_workers=4, cache=RunCache(str(tmp_path))).run(points)
+        warm = SweepExecutor(max_workers=4, cache=RunCache(str(tmp_path)))
+        warm.run(points)
+        stats = warm.last_stats
+        assert stats.cache_hits == 2 and stats.executed == 0
+        assert stats.pool_mode == "inproc"
+        assert stats.workers == 1
+
+    def test_stats_dict_has_pool_fields(self):
+        executor = SweepExecutor(max_workers=1, cache=None, use_cache=False)
+        executor.run([fast_point()])
+        payload = executor.last_stats.as_dict()
+        for field in ("pool_mode", "spawned", "reused", "respawned",
+                      "bytes_shipped"):
+            assert field in payload
 
     def test_suite_parallel_matches_serial(self):
         names = ["taobench", "feedsim"]

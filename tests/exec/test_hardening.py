@@ -1,5 +1,9 @@
 """Executor hardening: timeouts, worker-crash recovery, partial resume,
-and graceful cache degradation."""
+and graceful cache degradation.
+
+These cover the **cold** pool path (``warm_pool=False``) — the
+fallback when ``DCPERF_WARM_POOL=0``.  The warm path's equivalents
+(per-worker kill-and-respawn) live in ``test_workerpool.py``."""
 
 import json
 import os
@@ -37,6 +41,7 @@ class TestPointTimeout:
             cache=None,
             use_cache=False,
             point_timeout_s=0.5,
+            warm_pool=False,
         )
         points = [fast_point(), fast_point("feedsim")]
 
@@ -54,6 +59,7 @@ class TestPointTimeout:
         stats = executor.last_stats
         assert stats.timeouts == 2
         assert stats.recovered == 2
+        assert stats.pool_mode == "cold"
         assert [r.benchmark for r in reports] == ["taobench", "feedsim"]
         assert all(r.metric_value > 0 for r in reports)
 
@@ -74,7 +80,9 @@ class TestWorkerCrashRecovery:
             return {}, list(todo), 0
 
         monkeypatch.setattr(SweepExecutor, "_run_pooled", broken_pool)
-        executor = SweepExecutor(max_workers=2, cache=None, use_cache=False)
+        executor = SweepExecutor(
+            max_workers=2, cache=None, use_cache=False, warm_pool=False
+        )
         points = [fast_point(), fast_point("feedsim")]
         reports = executor.run(points)
         assert executor.last_stats.recovered == 2
@@ -92,7 +100,7 @@ class TestWorkerCrashRecovery:
 
         monkeypatch.setattr(SweepExecutor, "_run_pooled", broken_pool)
         recovered = SweepExecutor(
-            max_workers=2, cache=None, use_cache=False
+            max_workers=2, cache=None, use_cache=False, warm_pool=False
         ).run([point])[0]
         assert json.dumps(recovered.as_dict(), sort_keys=True) == json.dumps(
             serial.as_dict(), sort_keys=True

@@ -1,17 +1,29 @@
-"""Benchmark the sweep executor: cold cache vs warm cache vs parallel.
+"""Benchmark the sweep executor: pools, codec, cache, and scaling.
 
-Times a 6-benchmark x 4-SKU sweep (the Figure 2 grid) three ways:
+Four experiments, written to ``BENCH_sweep.json``:
 
-* **cold** — serial, empty cache: every point simulated from scratch;
-* **warm** — serial rerun against the cache the cold pass filled;
-* **parallel** — empty cache again, fanned out over worker processes.
+* **pool** — a repeated 7-benchmark suite sweep through a **cold**
+  per-sweep pool (fresh worker processes every sweep, the pre-warm-pool
+  behavior) vs the **warm** pool (persistent workers reused across
+  sweeps).  The headline number is the warm second run against the
+  cold second run: warm workers keep their per-process model warm-setup,
+  cold ones pay it again every sweep.
+* **codec** — the binary report codec (`dict_to_bytes`) vs the JSON
+  text codec for result transport: encode+decode wall time and bytes
+  per report.
+* **scaling** — a pywren-style worker-count curve: the same point grid
+  through the warm pool at 1..N workers.
+* **cache** — the original cold/warm-cache serial passes (unchanged
+  semantics: a warm rerun is served from the persistent cache).
 
-Writes ``BENCH_sweep.json`` with the raw timings and derived speedups.
-The cache lives in a private temp directory, so this never touches
-(or benefits from) your real ``~/.cache/dcperf-repro``.
+The pool experiments run *before* any point executes in this parent
+process: forked workers inherit the parent's state, so priming the
+parent would silently warm the "cold" pool too.  The cache lives in a
+private temp directory, so this never touches (or benefits from) your
+real ``~/.cache/dcperf-repro``.
 
 Run:
-    python tools/bench_sweep.py [--parallel N] [--measure SECONDS]
+    python tools/bench_sweep.py [--workers N] [--measure SECONDS]
 """
 
 from __future__ import annotations
@@ -23,8 +35,10 @@ import tempfile
 import time
 
 from repro.exec.cache import RunCache
-from repro.exec.executor import SweepExecutor, auto_workers
-from repro.exec.spec import expand_grid
+from repro.exec.executor import SweepExecutor, _run_point_payload
+from repro.exec.serialize import dict_from_bytes, dict_to_bytes
+from repro.exec.spec import expand_grid, run_fingerprint
+from repro.exec.workerpool import WarmPool, shutdown_warm_pool
 from repro.workloads.registry import dcperf_benchmarks
 
 SKUS = ["SKU1", "SKU2", "SKU3", "SKU4"]
@@ -37,56 +51,125 @@ def timed_sweep(points, executor):
     return elapsed, executor.last_stats.as_dict()
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--parallel", type=int, default=None, metavar="N",
-        help="workers for the parallel pass (default: one per CPU)",
-    )
-    parser.add_argument(
-        "--measure", type=float, default=1.0, metavar="SECONDS",
-        help="simulated measurement window per point",
-    )
-    parser.add_argument("--output", default="BENCH_sweep.json")
-    args = parser.parse_args()
-    workers = args.parallel or auto_workers()
+def bench_pools(points, workers):
+    """Cold per-sweep pool vs persistent warm pool, two sweeps each."""
+    results = {}
 
-    points = expand_grid(
-        benchmarks=dcperf_benchmarks(),
-        skus=SKUS,
-        measure_seconds=args.measure,
-    )
-    print(
-        f"{len(points)} points ({len(dcperf_benchmarks())} benchmarks x "
-        f"{len(SKUS)} SKUs), {os.cpu_count()} CPUs on this machine"
-    )
+    cold_times = []
+    for i in range(2):
+        executor = SweepExecutor(
+            max_workers=workers, cache=None, use_cache=False, warm_pool=False
+        )
+        elapsed, stats = timed_sweep(points, executor)
+        cold_times.append(elapsed)
+        print(f"cold pool sweep {i + 1}: {elapsed:7.2f}s "
+              f"({stats['workers']} workers, fresh processes)")
+    results["cold"] = {"seconds": cold_times, "stats": stats}
 
-    with tempfile.TemporaryDirectory(prefix="dcperf-bench-") as tmp:
-        cache = RunCache(os.path.join(tmp, "cache"))
-        cold_s, cold_stats = timed_sweep(
-            points, SweepExecutor(max_workers=1, cache=cache)
+    shutdown_warm_pool()  # measure spawn cost inside the first warm sweep
+    warm_times = []
+    for i in range(2):
+        executor = SweepExecutor(
+            max_workers=workers, cache=None, use_cache=False, warm_pool=True
         )
-        print(f"cold  (serial, empty cache): {cold_s:7.2f}s")
-        warm_s, warm_stats = timed_sweep(
-            points, SweepExecutor(max_workers=1, cache=cache)
-        )
-        print(f"warm  (serial, full cache):  {warm_s:7.2f}s   "
-              f"{warm_s / cold_s:6.1%} of cold")
-        par_cache = RunCache(os.path.join(tmp, "cache-parallel"))
-        par_s, par_stats = timed_sweep(
-            points, SweepExecutor(max_workers=workers, cache=par_cache)
-        )
-        print(f"parallel ({workers} workers, empty): {par_s:7.2f}s   "
-              f"{cold_s / par_s:5.2f}x vs cold serial")
+        elapsed, stats = timed_sweep(points, executor)
+        warm_times.append(elapsed)
+        print(f"warm pool sweep {i + 1}: {elapsed:7.2f}s "
+              f"(spawned={stats['spawned']} reused={stats['reused']} "
+              f"shipped={stats['bytes_shipped']}B)")
+    results["warm"] = {"seconds": warm_times, "stats": stats}
 
-    payload = {
-        "grid": {
-            "benchmarks": dcperf_benchmarks(),
-            "skus": SKUS,
-            "points": len(points),
-            "measure_seconds": args.measure,
-        },
-        "machine": {"cpus": os.cpu_count()},
+    speedup = cold_times[1] / warm_times[1]
+    results["warm_vs_cold_second_run"] = speedup
+    print(f"warm second run vs cold per-sweep pool: {speedup:5.2f}x")
+    return results
+
+
+def bench_scaling(points, max_workers):
+    """Worker-count scaling curve through one warm pool (pywren-style).
+
+    Uses the pool API directly so n=1 still goes through a worker
+    process (the executor would shortcut to in-process execution).
+    Each count gets a fresh pool so every measurement includes its own
+    spawn + warm-up — the cost a user actually pays at that size.
+    """
+    todo = [(run_fingerprint(p), p) for p in points]
+    curve = []
+    base = None
+    for n in range(1, max_workers + 1):
+        pool = WarmPool()
+        try:
+            pool.run_points(todo, workers=n)  # spawn + warm the workers
+            start = time.monotonic()
+            _, lost, _, stats = pool.run_points(todo, workers=n)
+            elapsed = time.monotonic() - start
+        finally:
+            pool.close()
+        assert not lost
+        base = base or elapsed
+        curve.append(
+            {
+                "workers": n,
+                "seconds": elapsed,
+                "speedup_vs_1": base / elapsed,
+                "bytes_shipped": stats.bytes_shipped,
+            }
+        )
+        print(f"scaling: {n} worker(s) {elapsed:7.2f}s "
+              f"({base / elapsed:4.2f}x vs 1)")
+    return curve
+
+
+def bench_codec(points, repeat=200):
+    """Binary codec vs JSON text for one sweep's worth of reports."""
+    payloads = [_run_point_payload(p) for p in points[: len(set(p.benchmark for p in points))]]
+    json_bytes = sum(len(json.dumps(p).encode()) for p in payloads)
+    bin_bytes = sum(len(dict_to_bytes(p)) for p in payloads)
+
+    start = time.monotonic()
+    for _ in range(repeat):
+        for p in payloads:
+            json.loads(json.dumps(p))
+    json_s = (time.monotonic() - start) / repeat
+
+    start = time.monotonic()
+    for _ in range(repeat):
+        for p in payloads:
+            dict_from_bytes(dict_to_bytes(p))
+    bin_s = (time.monotonic() - start) / repeat
+
+    print(f"codec: json {json_bytes}B {json_s * 1e3:.2f}ms/sweep, "
+          f"binary {bin_bytes}B {bin_s * 1e3:.2f}ms/sweep "
+          f"({json_bytes / bin_bytes:.2f}x smaller)")
+    return {
+        "reports": len(payloads),
+        "repeat": repeat,
+        "json_bytes": json_bytes,
+        "binary_bytes": bin_bytes,
+        "bytes_ratio": json_bytes / bin_bytes,
+        "json_roundtrip_seconds": json_s,
+        "binary_roundtrip_seconds": bin_s,
+    }
+
+
+def bench_cache(points, workers, tmp):
+    """The original serial cache passes plus a parallel cold pass."""
+    cache = RunCache(os.path.join(tmp, "cache"))
+    cold_s, cold_stats = timed_sweep(
+        points, SweepExecutor(max_workers=1, cache=cache)
+    )
+    print(f"cache: cold serial {cold_s:7.2f}s")
+    warm_s, warm_stats = timed_sweep(
+        points, SweepExecutor(max_workers=1, cache=cache)
+    )
+    print(f"cache: warm rerun  {warm_s:7.2f}s   {warm_s / cold_s:6.1%} of cold")
+    par_cache = RunCache(os.path.join(tmp, "cache-parallel"))
+    par_s, par_stats = timed_sweep(
+        points, SweepExecutor(max_workers=workers, cache=par_cache)
+    )
+    print(f"cache: parallel ({workers} workers, empty): {par_s:7.2f}s   "
+          f"{cold_s / par_s:5.2f}x vs cold serial")
+    return {
         "cold": {"seconds": cold_s, "stats": cold_stats},
         "warm": {
             "seconds": warm_s,
@@ -99,6 +182,63 @@ def main() -> None:
             "workers": workers,
             "speedup_vs_cold": cold_s / par_s,
         },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", "--parallel", type=int, default=2, metavar="N",
+        dest="workers",
+        help="workers for the pool passes and the scaling curve max",
+    )
+    parser.add_argument(
+        "--measure", type=float, default=0.3, metavar="SECONDS",
+        help="simulated measurement window per point",
+    )
+    parser.add_argument("--output", default="BENCH_sweep.json")
+    args = parser.parse_args()
+    workers = max(2, args.workers)
+
+    suite_points = expand_grid(
+        benchmarks=dcperf_benchmarks(),
+        skus=["SKU2"],
+        measure_seconds=args.measure,
+        warmup_seconds=0.1,
+    )
+    grid_points = expand_grid(
+        benchmarks=dcperf_benchmarks(),
+        skus=SKUS,
+        measure_seconds=args.measure,
+        warmup_seconds=0.1,
+    )
+    print(
+        f"suite sweep: {len(suite_points)} points; figure-2 grid: "
+        f"{len(grid_points)} points; {os.cpu_count()} CPU(s) on this machine"
+    )
+
+    # Pool + scaling first: this parent must not run a point in-process
+    # beforehand, or forked 'cold' workers would inherit warm state.
+    pool = bench_pools(suite_points, workers)
+    scaling = bench_scaling(suite_points, workers)
+    codec = bench_codec(suite_points)
+    with tempfile.TemporaryDirectory(prefix="dcperf-bench-") as tmp:
+        cache = bench_cache(grid_points, workers, tmp)
+    shutdown_warm_pool()
+
+    payload = {
+        "grid": {
+            "benchmarks": dcperf_benchmarks(),
+            "skus": SKUS,
+            "suite_points": len(suite_points),
+            "grid_points": len(grid_points),
+            "measure_seconds": args.measure,
+        },
+        "machine": {"cpus": os.cpu_count()},
+        "pool": pool,
+        "scaling": scaling,
+        "codec": codec,
+        "cache": cache,
     }
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)

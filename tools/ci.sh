@@ -46,6 +46,52 @@ print(f"smoke sweep ok: {stats.executed} executed in "
       f"{stats.elapsed_seconds:.1f}s, warm rerun fully cached")
 EOF
 
+echo "== warm-pool smoke (reuse + byte-identity + clean teardown) =="
+python - <<'EOF'
+import json
+import os
+
+from repro.exec.executor import SweepExecutor
+from repro.exec.spec import RunPoint
+from repro.exec.workerpool import get_warm_pool, shutdown_warm_pool
+
+points = [
+    RunPoint(benchmark="taobench", sku="SKU1",
+             measure_seconds=0.5, warmup_seconds=0.2),
+    RunPoint(benchmark="feedsim", sku="SKU2",
+             measure_seconds=0.5, warmup_seconds=0.2),
+]
+
+def sweep():
+    executor = SweepExecutor(max_workers=2, use_cache=False, warm_pool=True)
+    reports = executor.run(points)
+    return [json.dumps(r.as_dict(), sort_keys=True) for r in reports], \
+        executor.last_stats
+
+first, first_stats = sweep()
+assert first_stats.pool_mode == "warm" and first_stats.spawned == 2
+
+# The same sweep again through the same process-global pool: every
+# worker is reused and the reports are byte-identical.
+second, second_stats = sweep()
+assert second_stats.reused > 0 and second_stats.spawned == 0
+assert second == first, "warm rerun diverged from first warm run"
+
+pids = get_warm_pool().worker_pids()
+assert len(pids) == 2
+shutdown_warm_pool()
+for pid in pids:  # clean teardown: no orphaned workers
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        pass
+    else:
+        raise AssertionError(f"worker {pid} survived shutdown")
+print(f"warm-pool smoke ok: {second_stats.reused} workers reused, "
+      f"{second_stats.bytes_shipped}B shipped, reports byte-identical, "
+      "teardown left no orphans")
+EOF
+
 echo "== fault-scenario smoke (deterministic replay) =="
 python - <<'EOF'
 import json
