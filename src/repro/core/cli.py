@@ -11,6 +11,7 @@ Usage examples::
     dcperf cache clear
     dcperf microbench
     dcperf skus
+    dcperf faults list
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ from repro.hw.sku import list_skus
 from repro.workloads.base import RunConfig
 from repro.workloads.registry import dcperf_benchmarks, extension_benchmarks
 from repro.workloads.scenarios import (
+    FAULT_SCENARIOS,
     apply_fault_scenario,
     fault_scenario_names,
     get_fault_scenario,
@@ -240,6 +242,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in fault_scenario_names():
+        scenario = FAULT_SCENARIOS[name]
+        control = "yes" if scenario.control.enabled else "-"
+        load = (
+            f"{scenario.load_multiplier:g}x"
+            if scenario.load_multiplier != 1.0
+            else "-"
+        )
+        rows.append([name, control, load, scenario.description])
+    print(format_table(["scenario", "slo control", "load", "description"], rows))
+    return 0
+
+
 def _cmd_microbench(_args: argparse.Namespace) -> int:
     from repro.dctax.microbench import run_all
 
@@ -352,6 +369,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", help="override the run-cache directory"
     )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_faults = sub.add_parser(
+        "faults", help="inspect the named fault scenarios"
+    )
+    p_faults.add_argument(
+        "faults_command",
+        choices=["list"],
+        help="what to do",
+    )
+    p_faults.set_defaults(func=_cmd_faults)
 
     sub.add_parser(
         "microbench", help="run the datacenter-tax microbenchmarks"

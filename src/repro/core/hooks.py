@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.errors import HookError
+from repro.loadgen.windows import WindowSnapshot
 from repro.workloads.base import RunConfig, WorkloadResult
 
 
@@ -224,6 +225,16 @@ class ResilienceHook(Hook):
         failures = extra.get("resilience_failures", 0.0)
         goodput = extra.get("resilience_goodput_rps", 0.0)
         throughput = result.throughput_rps
+        # Device stall time (an attached IoStatHook device, e.g.
+        # StorageBench's block device) is SLO-relevant: seconds the
+        # engine spent refusing foreground puts are seconds the node
+        # was not meeting its objective, even when the requests that
+        # did finish look fast.  Fold it into the goodput accounting
+        # instead of leaving it to the iostat section alone.
+        stall_seconds = extra.get("io_stall_seconds", 0.0)
+        elapsed = extra.get("measured_seconds", ctx.config.measure_seconds)
+        stall_fraction = min(1.0, stall_seconds / elapsed) if elapsed > 0 else 0.0
+        slo_compliance = extra.get("resilience_slo_compliance", 1.0)
         return {
             "enabled": True,
             "scenario": ctx.config.fault_scenario or "custom",
@@ -238,11 +249,70 @@ class ResilienceHook(Hook):
             "net_drops": extra.get("resilience_net_drops", 0.0),
             "unavailable": extra.get("resilience_unavailable", 0.0),
             "slo_latency_ms": extra.get("resilience_slo_latency_s", 0.0) * 1000.0,
-            "slo_compliance_pct": extra.get("resilience_slo_compliance", 1.0)
-            * 100.0,
+            "slo_compliance_pct": slo_compliance * 100.0,
             "goodput_rps": goodput,
             "goodput_fraction": goodput / throughput if throughput else 0.0,
+            "device_stall_seconds": stall_seconds,
+            "stall_fraction_of_window": stall_fraction,
+            "stall_adjusted_slo_compliance_pct": (
+                slo_compliance * (1.0 - stall_fraction) * 100.0
+            ),
+            "stall_adjusted_goodput_rps": goodput * (1.0 - stall_fraction),
             "fault_events_applied": extra.get("fault_events_applied", 0.0),
+        }
+
+
+class SloControlHook(Hook):
+    """In-run SLO control plane accounting.
+
+    Reads the ``slo_*`` counters the
+    :class:`~repro.workloads.runner.BenchmarkHarness` attaches when a
+    run carries an enabled
+    :class:`~repro.faults.control.SloControlPolicy`: windowed
+    percentile signals, shed/admitted counts, admission rejections,
+    brownout relief adjustments, and the goodput (completions meeting
+    the SLO) those behaviors protect.  Runs without the control plane
+    report ``{"enabled": False}`` so every report keeps the same shape.
+    """
+
+    name = "slo_control"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        extra = result.extra
+        if "slo_windows" not in extra:
+            return {"enabled": False}
+        offered = extra.get("slo_offered", 0.0)
+        shed = extra.get("slo_shed", 0.0)
+        return {
+            "enabled": True,
+            "scenario": ctx.config.fault_scenario or "custom",
+            "windows": extra.get("slo_windows", 0.0),
+            "window_completions": extra.get("slo_window_completions", 0.0),
+            "slo_latency_ms": extra.get("slo_latency_s", 0.0) * 1000.0,
+            "offered": offered,
+            "admitted": extra.get("slo_admitted", 0.0),
+            "shed": shed,
+            "shed_fraction": shed / offered if offered else 0.0,
+            "admission_rejections": extra.get("slo_admission_rejections", 0.0),
+            "instances": extra.get("slo_instances", 0.0),
+            "breached_windows": extra.get("slo_breached_windows", 0.0),
+            "healthy_windows": extra.get("slo_healthy_windows", 0.0),
+            "shed_steps": extra.get("slo_shed_steps", 0.0),
+            "shed_recoveries": extra.get("slo_shed_recoveries", 0.0),
+            "drop_probability": extra.get("slo_drop_probability", 0.0),
+            "max_drop_probability": extra.get("slo_max_drop_probability", 0.0),
+            "brownout_activations": extra.get("slo_brownout_activations", 0.0),
+            "brownout_recoveries": extra.get("slo_brownout_recoveries", 0.0),
+            "brownout_steps": extra.get("slo_brownout_steps", 0.0),
+            "relief_factor": extra.get("slo_relief_factor", 1.0),
+            "goodput_rps": extra.get("slo_goodput_rps", 0.0),
+            "goodput_fraction": extra.get("slo_goodput_fraction", 0.0),
+            "windowed_p50_ms": extra.get("slo_p50", 0.0) * 1000.0,
+            "windowed_p95_ms": extra.get("slo_p95", 0.0) * 1000.0,
+            "windowed_p99_ms": extra.get("slo_p99", 0.0) * 1000.0,
+            "stall_seconds": extra.get("slo_stall_seconds", 0.0),
+            "window_fields": list(WindowSnapshot.ROW_FIELDS),
+            "window_series": extra.get("slo_window_series", []),
         }
 
 
@@ -350,6 +420,7 @@ def default_hooks() -> HookRegistry:
             UarchHook(),
             TimelineHook(),
             ResilienceHook(),
+            SloControlHook(),
             IoStatHook(),
         ]
     )

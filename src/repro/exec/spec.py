@@ -30,7 +30,11 @@ from repro.workloads.base import RunConfig
 #: 4: storage subsystem — StorageBench joined the suite, the report
 #: grew the ``iostat`` hook section, and the ``disk_degraded`` fault
 #: scenario landed; every report's shape changed.
-CACHE_SCHEMA_VERSION = 4
+#: 5: in-run SLO control plane — the report grew the ``slo_control``
+#: hook section, the ``resilience`` section grew stall-adjusted
+#: SLO/goodput fields, and scenarios carry control policies + load
+#: multipliers; every report's shape changed.
+CACHE_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True, order=True)

@@ -9,11 +9,22 @@ production services use to survive them.  Schedules ride inside
 of a run's fingerprint and replay byte-identically.
 """
 
+from repro.faults.control import (
+    DISABLED_CONTROL,
+    AdmissionController,
+    BrownoutResponder,
+    LoadShedder,
+    SloControlPlane,
+    SloControlPolicy,
+    SloControlStats,
+)
 from repro.faults.errors import (
+    AdmissionRejectedError,
     CircuitOpenError,
     DeadlineExceededError,
     FaultError,
     NetworkLossError,
+    RequestShedError,
     RetriesExhaustedError,
     ServerUnavailableError,
 )
@@ -33,8 +44,12 @@ from repro.faults.schedule import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejectedError",
+    "BrownoutResponder",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DISABLED_CONTROL",
     "DISABLED_POLICY",
     "DeadlineExceededError",
     "EMPTY_SCHEDULE",
@@ -43,10 +58,15 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FaultSpec",
+    "LoadShedder",
     "NetworkLossError",
+    "RequestShedError",
     "ResiliencePolicy",
     "ResilienceStats",
     "RetriesExhaustedError",
     "ServerUnavailableError",
     "ServiceClient",
+    "SloControlPlane",
+    "SloControlPolicy",
+    "SloControlStats",
 ]

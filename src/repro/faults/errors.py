@@ -31,6 +31,19 @@ class CircuitOpenError(FaultError):
     """The client's circuit breaker is open; the call failed fast."""
 
 
+class RequestShedError(FaultError):
+    """Dropped at admission by the SLO control plane's load shedder.
+
+    Shed requests fail fast — before any service work is queued — so
+    the capacity they would have consumed serves admitted requests
+    instead.  Clients see them as immediate errors (production 429s).
+    """
+
+
+class AdmissionRejectedError(FaultError):
+    """Refused at admission: the target instance is at its in-flight cap."""
+
+
 class RetriesExhaustedError(FaultError):
     """Every attempt (including retries) failed.
 

@@ -16,9 +16,12 @@ from repro.loadgen.trace import (
     TraceReplayGenerator,
     synthesize_production_trace,
 )
+from repro.loadgen.windows import WindowedSloTracker, WindowSnapshot
 
 __all__ = [
     "LatencyRecorder",
+    "WindowSnapshot",
+    "WindowedSloTracker",
     "OpenLoopGenerator",
     "ClosedLoopGenerator",
     "SLO",

@@ -77,6 +77,10 @@ class CpuScheduler:
     #: Multiplier the fault injector applies to every burst (>= 1.0);
     #: 1.0 means no active CPU-channel fault.
     fault_slowdown: float = 1.0
+    #: Speedup the SLO control plane's brownout responder publishes
+    #: (>= 1.0): degraded serving / replica scale-out makes every
+    #: request cheaper.  1.0 means full-quality serving.
+    relief_speedup: float = 1.0
     #: True while a simulated crash/restart is in progress: new
     #: dispatches are refused, in-flight bursts drain.
     offline: bool = False
@@ -172,6 +176,11 @@ class CpuScheduler:
         overhead = self.dispatch_overhead_seconds * dispatches
         duration = (user_seconds + kernel_seconds) / speedup + overhead
         duration *= self.fault_slowdown
+        # Guarded so runs without an active brownout response skip the
+        # division entirely and stay bit-identical to the pre-control
+        # arithmetic.
+        if self.relief_speedup != 1.0:
+            duration /= self.relief_speedup
         try:
             yield self.env.sleep(duration)
         finally:

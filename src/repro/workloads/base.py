@@ -6,6 +6,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults.control import DISABLED_CONTROL, SloControlPolicy
 from repro.faults.resilience import DISABLED_POLICY, ResiliencePolicy
 from repro.faults.schedule import EMPTY_SCHEDULE, FaultSchedule
 from repro.hw.sku import ServerSku, get_sku
@@ -30,6 +31,14 @@ class RunConfig:
     ``fault_scenario`` carries the named scenario (if any) for
     reporting — the schedule/policy pair are what actually executes.
 
+    ``slo_control`` opts the run into the continuous in-run SLO
+    control plane: a windowed percentile tracker plus the SLO-triggered
+    behaviors it drives (load shedding, per-instance admission caps,
+    brownout relief — see :mod:`repro.faults.control`).  It defaults to
+    disabled so the exact-backend golden path is untouched; control
+    runs never stop early (shedding makes their windows deliberately
+    non-stationary, like fault runs).
+
     ``early_stop`` lets the harness end the measurement window early
     once the windowed latency means have converged (a deterministic,
     completion-count-based test — see
@@ -50,6 +59,7 @@ class RunConfig:
     faults: FaultSchedule = EMPTY_SCHEDULE
     resilience: ResiliencePolicy = DISABLED_POLICY
     fault_scenario: str = ""
+    slo_control: SloControlPolicy = DISABLED_CONTROL
     early_stop: bool = False
 
     def __post_init__(self) -> None:

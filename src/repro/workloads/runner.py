@@ -22,8 +22,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Generator, Optional
 
+from repro.faults.control import SloControlPlane
 from repro.faults.injector import FaultInjector
 from repro.faults.resilience import ResilienceStats, ServiceClient
+from repro.loadgen.windows import WindowedSloTracker
 from repro.loadgen.generators import Handler, OpenLoopGenerator, Request
 from repro.loadgen.recorder import LatencyRecorder
 from repro.oskernel.kernel import KernelVersion
@@ -304,6 +306,17 @@ class BenchmarkHarness:
                 injector=self.injector,
                 stats=self.resilience_stats,
             )
+        self.control: Optional[SloControlPlane] = None
+        if config.slo_control.enabled:
+            env = self.env
+            self.control = SloControlPlane(
+                policy=config.slo_control,
+                rng=self.rng.stream("slo-control"),
+                clock=lambda: env.now,
+            )
+            # Brownout relief publishes to the scheduler the way
+            # disk_degraded publishes to attached block devices.
+            self.control.brownout.attach(self.scheduler)
 
     @staticmethod
     def _memory_intensity(chars: WorkloadCharacteristics) -> float:
@@ -378,17 +391,32 @@ class BenchmarkHarness:
         )
         if self.injector is not None:
             self.injector.start()
+        if self.control is not None:
+            # The control plane observes (and sheds) from t=0: a
+            # production box reaching the measurement window has
+            # already converged on its operating point.
+            generator.on_complete = self.control.on_complete
         generator.start()
         self.env.run(until=self.config.warmup_seconds)
         self.recorder.reset()
         self.scheduler.stats.reset(self.env.now)
         self.resilience_stats.reset()
+        if self.control is not None:
+            # Counters restart at the warmup edge; controller *state*
+            # (drop probability, relief steps, in-flight) carries over.
+            self.control.reset_measurement()
         self.env.process(self._sampler())
         completed_before = generator.completed
         monitor = None
-        if self.config.early_stop and self.injector is None:
+        if (
+            self.config.early_stop
+            and self.injector is None
+            and self.control is None
+        ):
             # Armed only for the measurement window: warmup completions
-            # must not seed the convergence windows.
+            # must not seed the convergence windows.  Control-plane runs
+            # never arm it — shedding makes their windows deliberately
+            # non-stationary, exactly like fault runs.
             monitor = ConvergenceMonitor(self.env)
             generator.on_complete = monitor.on_complete
         measure_start = self.env.now
@@ -413,15 +441,38 @@ class BenchmarkHarness:
         return result
 
     def _wrap_handler(self, handler: Handler) -> Handler:
-        """Route requests through the resilience pipeline when enabled."""
+        """Route requests through resilience + SLO-control pipelines.
+
+        The control wrapper is outermost: shed/refused requests fail at
+        admission, before the resilience client would spend retries (or
+        any service work) on them.
+        """
         client = self.client
-        if client is None:
-            return handler
+        if client is not None:
+            inner = handler
 
-        def resilient_handler(request: Request) -> Generator:
-            yield from client.call(lambda: handler(request))
+            def resilient_handler(request: Request) -> Generator:
+                yield from client.call(lambda: inner(request))
 
-        return resilient_handler
+            handler = resilient_handler
+        if self.control is not None:
+            handler = self.control.wrap_handler(handler)
+        return handler
+
+    @property
+    def slo_tracker(self) -> Optional[WindowedSloTracker]:
+        """The control plane's windowed tracker, when the run has one.
+
+        Workloads use this to fold extra signals into the SLO windows —
+        StorageBench attributes block-device write-stall time here so
+        stalls land in the SLO accounting, not just the iostat section.
+        """
+        return self.control.tracker if self.control is not None else None
+
+    def register_instance_set(self, instances: "InstanceSet") -> None:
+        """Size the admission controller to an InstanceSet's instances."""
+        if self.control is not None:
+            self.control.admission.set_instances(instances.num_instances)
 
     def _attach_fault_metrics(
         self, result: WorkloadResult, elapsed: Optional[float] = None
@@ -443,6 +494,10 @@ class BenchmarkHarness:
         if self.injector is not None:
             result.extra["fault_events_applied"] = float(
                 self.injector.events_applied
+            )
+        if self.control is not None:
+            result.extra.update(
+                self.control.as_extra(self.config.batch, elapsed)
             )
 
     def _sampler(self) -> Generator:
@@ -512,6 +567,9 @@ class InstanceSet:
             Resource(harness.env, capacity=1) for _ in range(self.num_instances)
         ]
         self._next = 0
+        # The SLO control plane's admission controller caps in-flight
+        # work per instance; tell it how many instances exist.
+        harness.register_instance_set(self)
 
     def pick(self) -> int:
         """Round-robin instance assignment for a new request."""

@@ -17,8 +17,9 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.faults.control import DISABLED_CONTROL, SloControlPolicy
 from repro.faults.resilience import ResiliencePolicy
-from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.faults.schedule import EMPTY_SCHEDULE, FaultSchedule, FaultSpec
 from repro.hw.tco import budgeted_power_w
 from repro.workloads.base import RunConfig, Workload, WorkloadResult
 
@@ -98,7 +99,7 @@ def run_failover_spike(
 
 @dataclass(frozen=True)
 class FaultScenario:
-    """A named (fault schedule, resilience policy) pair.
+    """A named fault schedule + resilience policy + SLO control policy.
 
     Scenarios are the user-facing handle for fault injection: a name on
     the CLI (``--faults brownout``) resolves here, travels on
@@ -106,12 +107,19 @@ class FaultScenario:
     into the run fingerprint via the registry below — renaming or
     re-tuning a scenario invalidates cached results, exactly as a code
     change would.
+
+    ``control`` opts the scenario into the in-run SLO control plane
+    (windowed tracking + shedding/admission/brownout behaviors);
+    ``load_multiplier`` scales the run's offered load, letting pure
+    overload scenarios exist without any hardware fault at all.
     """
 
     name: str
     description: str
     schedule: FaultSchedule
     policy: ResiliencePolicy
+    control: SloControlPolicy = DISABLED_CONTROL
+    load_multiplier: float = 1.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -119,6 +127,8 @@ class FaultScenario:
             "description": self.description,
             "schedule": self.schedule.as_dict(),
             "policy": self.policy.as_dict(),
+            "control": self.control.as_dict(),
+            "load_multiplier": self.load_multiplier,
         }
 
 
@@ -198,6 +208,100 @@ FAULT_SCENARIOS: Dict[str, FaultScenario] = {
             ),
         ),
         FaultScenario(
+            name="brownout_degraded_disk",
+            description=(
+                "Compound brownout: a 30% clock throttle overlaps a "
+                "3x-degraded flash device and memory pressure; the "
+                "control plane sheds load and browns out serving "
+                "quality until the SLO recovers."
+            ),
+            schedule=FaultSchedule.of(
+                FaultSpec("freq_throttle", 0.15, 0.55, 0.30),
+                FaultSpec("disk_degraded", 0.25, 0.50, 3.0),
+                FaultSpec("mem_pressure", 0.35, 0.40, 0.40),
+            ),
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=1,
+                slo_latency_s=0.1,
+            ),
+            control=SloControlPolicy(
+                window_completions=100,
+                slo_latency_s=0.1,
+                shed_enabled=True,
+                shed_percentile=95.0,
+                shed_target_latency_s=0.1,
+                shed_interval_windows=2,
+                shed_step=0.1,
+                shed_decay=0.5,
+                brownout_enabled=True,
+                brownout_relief=0.25,
+                brownout_trigger_windows=2,
+                brownout_recover_windows=2,
+                brownout_max_steps=2,
+            ),
+        ),
+        FaultScenario(
+            name="flaky_network_compaction",
+            description=(
+                "Lossy, slow network while storage compactions back up "
+                "on a 4x-degraded device; per-instance admission caps "
+                "bound in-flight work and device stall time lands in "
+                "the SLO accounting, not just the iostat section."
+            ),
+            schedule=FaultSchedule.of(
+                FaultSpec("net_latency", 0.15, 0.65, 0.002),
+                FaultSpec("net_loss", 0.20, 0.55, 0.05),
+                FaultSpec("disk_degraded", 0.30, 0.55, 4.0),
+            ),
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=2,
+                hedge_delay_s=0.02,
+                slo_latency_s=0.1,
+            ),
+            control=SloControlPolicy(
+                window_completions=100,
+                slo_latency_s=0.1,
+                shed_enabled=True,
+                shed_percentile=95.0,
+                shed_target_latency_s=0.1,
+                shed_interval_windows=2,
+                shed_step=0.08,
+                shed_decay=0.5,
+                admit_enabled=True,
+                admit_max_inflight_per_instance=96,
+            ),
+        ),
+        FaultScenario(
+            name="overload_shed",
+            description=(
+                "Pure overload: offered load doubles (a failed "
+                "region's traffic) with no hardware fault; the "
+                "CoDel-style shedder drops just enough at admission "
+                "to keep admitted requests inside the SLO."
+            ),
+            schedule=EMPTY_SCHEDULE,
+            policy=ResiliencePolicy(
+                deadline_s=0.5,
+                max_retries=0,
+                slo_latency_s=0.1,
+            ),
+            load_multiplier=2.0,
+            control=SloControlPolicy(
+                window_completions=100,
+                slo_latency_s=0.1,
+                shed_enabled=True,
+                shed_percentile=95.0,
+                shed_target_latency_s=0.08,
+                shed_interval_windows=1,
+                shed_step=0.15,
+                shed_decay=0.7,
+                shed_max_fraction=0.95,
+                shed_error_rate_threshold=0.15,
+            ),
+        ),
+        FaultScenario(
             name="noisy_neighbor",
             description=(
                 "Co-tenant interference: a 1.6x slowdown through the "
@@ -234,11 +338,18 @@ def get_fault_scenario(name: str) -> FaultScenario:
 
 
 def apply_fault_scenario(config: RunConfig, name: str) -> RunConfig:
-    """Return ``config`` with the named scenario's schedule and policy."""
+    """Return ``config`` with the named scenario fully applied.
+
+    Applies the fault schedule, the client resilience policy, the SLO
+    control policy, and the scenario's load multiplier (compounding
+    with any ``load_scale`` already on the config).
+    """
     scenario = get_fault_scenario(name)
     return dataclasses.replace(
         config,
         faults=scenario.schedule,
         resilience=scenario.policy,
+        slo_control=scenario.control,
+        load_scale=config.load_scale * scenario.load_multiplier,
         fault_scenario=scenario.name,
     )

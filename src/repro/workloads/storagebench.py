@@ -124,6 +124,17 @@ class StorageBench(Workload):
 
         block_cache = LruCache(BLOCK_CACHE_BYTES, clock=lambda: env.now)
         stall_recorder = LatencyRecorder(backend="hdr")
+        # When the run carries the SLO control plane, write-stall time
+        # is folded into its windowed accounting too — stalls become an
+        # SLO signal, not just an iostat line.
+        slo_tracker = harness.slo_tracker
+        if slo_tracker is None:
+            on_stall = stall_recorder.record
+        else:
+
+            def on_stall(seconds: float) -> None:
+                stall_recorder.record(seconds)
+                slo_tracker.add_stall(seconds)
 
         def compaction_cpu(merge_bytes: float) -> Generator:
             # Background compaction steals simulated cores from request
@@ -144,7 +155,7 @@ class StorageBench(Workload):
             config=lsm_config,
             io_scale=config.batch,
             compaction_cpu=compaction_cpu,
-            on_stall=stall_recorder.record,
+            on_stall=on_stall,
         )
         self._prefill(tree, lsm_config)
 

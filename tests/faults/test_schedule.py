@@ -104,7 +104,11 @@ class TestScenarioRegistry:
     def test_every_scenario_well_formed(self):
         for name, scenario in FAULT_SCENARIOS.items():
             assert scenario.name == name
-            assert scenario.schedule  # non-empty
+            # Every scenario perturbs the run somehow: a fault schedule,
+            # or pure overload (load multiplier + SLO control plane).
+            assert scenario.schedule or (
+                scenario.load_multiplier != 1.0 and scenario.control.enabled
+            )
             assert scenario.policy.enabled
             assert scenario.description
             # as_dict must be JSON-serializable for fingerprinting.

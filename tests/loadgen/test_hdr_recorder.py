@@ -128,3 +128,75 @@ class TestRecorderBackends:
         assert len(r) == 0
         assert r.errors == 0
         assert r.snapshot()["count"] == 0
+
+
+class TestWindowedUse:
+    """Edge cases the windowed SLO tracker leans on: one histogram is
+    cleared per window while a second accumulates, so clear/re-record
+    cycles and tiny populations must behave exactly."""
+
+    def test_clear_then_record_matches_fresh_histogram(self):
+        reused = BucketedHistogram(precision_bits=7)
+        for s in (0.001, 0.250, 0.987):
+            reused.record(s)
+        reused.clear()
+        fresh = BucketedHistogram(precision_bits=7)
+        for s in (0.010, 0.020, 0.030):
+            reused.record(s)
+            fresh.record(s)
+        for p in (50.0, 95.0, 99.0, 100.0):
+            assert reused.percentile(p) == fresh.percentile(p)
+        assert reused.total == fresh.total == 3
+        assert reused.max() == fresh.max()
+
+    def test_empty_after_clear_raises_like_never_used(self):
+        h = BucketedHistogram()
+        h.record(0.5)
+        h.clear()
+        with pytest.raises(ValueError):
+            h.percentile(95.0)
+        with pytest.raises(ValueError):
+            h.max()
+        assert h.count_at_or_below(1.0) == 0
+
+    def test_single_sample_all_percentiles_equal(self):
+        h = BucketedHistogram(precision_bits=7)
+        h.record(0.042)
+        values = {h.percentile(p) for p in (0.0001, 50.0, 95.0, 99.0, 99.9)}
+        assert len(values) == 1
+        # p100 is the exact max, which may differ from the bucket mid.
+        assert h.percentile(100.0) == pytest.approx(0.042)
+
+    def test_window_reset_vs_cumulative_snapshot_parity(self):
+        """Recording the same stream into a per-window histogram
+        (cleared every W samples) and a cumulative one: each window's
+        count sums to the cumulative count, and the cumulative
+        percentile equals a fresh histogram over all samples."""
+        rng = random.Random(13)
+        samples = [rng.lognormvariate(-5.0, 1.0) for _ in range(300)]
+        window = BucketedHistogram(precision_bits=7)
+        cumulative = BucketedHistogram(precision_bits=7)
+        window_counts = []
+        for i, s in enumerate(samples, 1):
+            window.record(s)
+            cumulative.record(s)
+            if i % 50 == 0:
+                window_counts.append(window.total)
+                window.clear()
+        assert sum(window_counts) == cumulative.total == 300
+        reference = BucketedHistogram(precision_bits=7)
+        for s in samples:
+            reference.record(s)
+        for p in (50.0, 95.0, 99.0):
+            assert cumulative.percentile(p) == reference.percentile(p)
+
+    def test_error_only_window_recorder_summary(self):
+        """A recorder that saw only errors (the error-only-window case)
+        keeps a sane summary instead of raising."""
+        r = LatencyRecorder(backend="hdr")
+        r.record_error()
+        r.record_error()
+        summary = r.summary()
+        assert summary["count"] == 0
+        assert r.errors == 2
+        assert r.fraction_below(1.0) == 0.0

@@ -45,6 +45,9 @@ FAULT_SCENARIOS = [
     "flaky_network",
     "noisy_neighbor",
     "disk_degraded",
+    "brownout_degraded_disk",
+    "flaky_network_compaction",
+    "overload_shed",
 ]
 
 
@@ -76,6 +79,14 @@ def golden_points():
         (
             "storagebench+disk_degraded",
             _make_point("storagebench", faults="disk_degraded"),
+        )
+    )
+    # The compound storage scenario against the device-backed workload:
+    # pins admission control and stall-time SLO folding together.
+    cases.append(
+        (
+            "storagebench+flaky_network_compaction",
+            _make_point("storagebench", faults="flaky_network_compaction"),
         )
     )
     return cases

@@ -127,6 +127,41 @@ print("fault smoke ok: blackout replay byte-identical "
       f"slo={section['slo_compliance_pct']:.1f}%")
 EOF
 
+echo "== SLO control-plane smoke (compound scenario, shed replay) =="
+python - <<'EOF'
+import json
+
+from repro.exec.executor import SweepExecutor, execute_point
+from repro.exec.spec import RunPoint
+
+point = RunPoint(benchmark="taobench", sku="SKU2", seed=11,
+                 measure_seconds=0.5, warmup_seconds=0.2,
+                 faults="overload_shed")
+
+# Replaying a compound scenario twice must reproduce every byte,
+# including each window's shed decisions and the window series itself.
+first = execute_point(point).as_dict()
+replay = execute_point(point).as_dict()
+assert first == replay, "overload_shed replay is not deterministic"
+
+# The warm-pool transport must carry the control section unchanged.
+pooled = SweepExecutor(max_workers=2, use_cache=False, warm_pool=True).run(
+    [point, RunPoint(benchmark="taobench", sku="SKU2", seed=11,
+                     measure_seconds=0.5, warmup_seconds=0.2)])
+assert json.dumps(pooled[0].as_dict(), sort_keys=True) \
+    == json.dumps(first, sort_keys=True), "pooled shed run diverged"
+
+section = first["hooks"]["slo_control"]
+assert section["enabled"] and section["scenario"] == "overload_shed"
+assert section["windows"] >= 1 and section["shed"] > 0
+assert len(section["window_series"]) == section["windows"]
+assert pooled[1].as_dict()["hooks"]["slo_control"] == {"enabled": False}
+print("slo control smoke ok: overload_shed replay byte-identical "
+      f"(in-proc x2 + warm pool), shed_fraction={section['shed_fraction']:.2f}, "
+      f"goodput_fraction={section['goodput_fraction']:.2f}, "
+      f"{section['windows']:.0f} windows")
+EOF
+
 echo "== early-stop smoke (convergence on/off) =="
 python - <<'EOF'
 import json
