@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-workloads bench-sweep bench-storage profile report clean-cache
+.PHONY: test verify bench bench-workloads bench-sweep bench-storage bench-shard profile report clean-cache
 
 # Fast path: just the unit suite.
 test:
@@ -30,6 +30,10 @@ bench-sweep:
 # Storage-subsystem microbenchmarks (writes BENCH_storage.json).
 bench-storage:
 	PYTHONPATH=src $(PYTHON) tools/bench_storage.py
+
+# Intra-run shard scaling curve (writes BENCH_shard.json).
+bench-shard:
+	PYTHONPATH=src $(PYTHON) tools/bench_shard.py
 
 # Reproduce the cProfile that motivated the workload-model fast path.
 profile:

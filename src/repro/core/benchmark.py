@@ -83,6 +83,13 @@ class Benchmark:
     ) -> BenchmarkReport:
         """Run the benchmark and assemble the hooked report."""
         config = config or RunConfig()
+        if config.shards > 1 and config.shard_index < 0:
+            raise ValueError(
+                f"shards={config.shards} runs execute through the "
+                "SweepExecutor (or execute_point), which expands the run "
+                "into shard sub-points and merges their reports; "
+                "Benchmark.run only executes single environments"
+            )
         hooks = hooks or default_hooks()
         if not self._installed:
             self.install()

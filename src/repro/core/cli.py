@@ -88,17 +88,39 @@ def _cmd_install(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    bench = Benchmark.by_name(args.benchmark)
-    config = RunConfig(
-        sku_name=args.sku,
-        kernel_version=args.kernel,
-        seed=args.seed,
-        measure_seconds=args.measure_seconds,
-        early_stop=not args.no_early_stop,
-    )
-    if args.faults:
-        config = apply_fault_scenario(config, args.faults)
-    report = bench.run(config)
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        # Sharded runs execute through the sweep machinery: the point
+        # expands into shard sub-points (run on the warm pool, one
+        # worker per shard) and the shard reports merge into one.
+        from repro.exec.spec import RunPoint
+
+        point = RunPoint(
+            benchmark=args.benchmark,
+            sku=args.sku,
+            kernel=args.kernel,
+            seed=args.seed,
+            measure_seconds=args.measure_seconds,
+            faults=args.faults or "",
+            early_stop=not args.no_early_stop,
+            shards=args.shards,
+        )
+        executor = SweepExecutor(max_workers=args.shards)
+        report = executor.run([point])[0]
+    else:
+        bench = Benchmark.by_name(args.benchmark)
+        config = RunConfig(
+            sku_name=args.sku,
+            kernel_version=args.kernel,
+            seed=args.seed,
+            measure_seconds=args.measure_seconds,
+            early_stop=not args.no_early_stop,
+        )
+        if args.faults:
+            config = apply_fault_scenario(config, args.faults)
+        report = bench.run(config)
     payload = report.as_dict()
     if args.json:
         path = write_json_report(payload, args.json)
@@ -232,13 +254,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if cache is None:
         cache = RunCache()
     if args.cache_command == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} cached run(s) from {cache.directory}")
+        removed = cache.clear(stale_only=args.stale)
+        what = "stale cached run(s)" if args.stale else "cached run(s)"
+        print(f"removed {removed} {what} from {cache.directory}")
         return 0
+    from repro.exec.spec import CACHE_SCHEMA_VERSION
+
     info = cache.info()
     print(f"directory: {info.directory}")
     print(f"entries:   {info.entries}")
     print(f"size:      {info.total_bytes / 1024:.1f} KiB")
+    for schema in sorted(info.by_schema):
+        marker = (
+            " (current)" if schema == str(CACHE_SCHEMA_VERSION) else ""
+        )
+        print(f"  schema {schema}: {info.by_schema[schema]}{marker}")
     return 0
 
 
@@ -302,6 +332,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="always measure the full window instead of stopping once "
         "latency windows converge (slower, byte-stable reports)",
+    )
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split the run across N shard environments executed on "
+        "the warm worker pool and merge their results into one report "
+        "(1 = ordinary single-environment run)",
     )
     p_run.add_argument("--json", help="write the report to this JSON file")
     p_run.set_defaults(func=_cmd_run)
@@ -367,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache.add_argument(
         "--cache-dir", help="override the run-cache directory"
+    )
+    p_cache.add_argument(
+        "--stale",
+        action="store_true",
+        help="with clear: drop only entries written under an older "
+        "cache schema version (plus corrupt files), keeping current "
+        "entries warm",
     )
     p_cache.set_defaults(func=_cmd_cache)
 

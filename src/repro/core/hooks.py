@@ -360,6 +360,46 @@ class IoStatHook(Hook):
         }
 
 
+class ShardHook(Hook):
+    """Intra-run sharding accounting.
+
+    Reports which role a run played in a sharded execution: a *shard*
+    sub-run states its index and derived seed; a *merged* parent report
+    surfaces the per-shard breakdown lists the merge attaches to
+    ``result.extra`` (:mod:`repro.exec.shard`).  Unsharded runs report
+    ``{"enabled": False}`` so every report keeps the same shape.
+    """
+
+    name = "sharding"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        config = ctx.config
+        if config.shards <= 1:
+            return {"enabled": False}
+        if config.shard_index >= 0:
+            return {
+                "enabled": True,
+                "role": "shard",
+                "shards": config.shards,
+                "shard_index": config.shard_index,
+                "shard_seed": config.seed,
+            }
+        extra = result.extra
+        return {
+            "enabled": True,
+            "role": "merged",
+            "shards": config.shards,
+            "shard_seeds": list(extra.get("shard_seeds", [])),
+            "shard_throughput_rps": list(
+                extra.get("shard_throughput_rps", [])
+            ),
+            "shard_completions": list(extra.get("shard_completions", [])),
+            "shard_measured_seconds": list(
+                extra.get("shard_measured_seconds", [])
+            ),
+        }
+
+
 class HookRegistry:
     """Named collection of hooks applied to every run."""
 
@@ -422,5 +462,6 @@ def default_hooks() -> HookRegistry:
             ResilienceHook(),
             SloControlHook(),
             IoStatHook(),
+            ShardHook(),
         ]
     )

@@ -33,6 +33,10 @@ def system_info(config: RunConfig) -> Dict[str, object]:
         "storage": sku.storage,
         "kernel_version": config.kernel_version,
         "designed_power_w": sku.designed_power_w,
+        # Shard count of the run this system served: N for both the
+        # merged parent report and each shard sub-report (they describe
+        # the same fleet), 1 for unsharded runs.
+        "shards": config.shards,
         "harness_python": platform.python_version(),
     }
 

@@ -18,10 +18,10 @@ import os
 import tempfile
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.exec.spec import RunPoint
+from repro.exec.spec import CACHE_SCHEMA_VERSION, RunPoint
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "DCPERF_CACHE_DIR"
@@ -81,12 +81,18 @@ class CacheInfo:
     directory: str
     entries: int
     total_bytes: int
+    #: Entry counts grouped by the cache schema version that wrote
+    #: them.  Keys are stringified versions ("6"), plus "unversioned"
+    #: for entries written before schema tagging and "corrupt" for
+    #: files that no longer parse.
+    by_schema: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "directory": self.directory,
             "entries": self.entries,
             "total_bytes": self.total_bytes,
+            "by_schema": dict(self.by_schema),
         }
 
 
@@ -142,6 +148,7 @@ class RunCache:
             return None
         entry = {
             "fingerprint": fingerprint,
+            "schema": CACHE_SCHEMA_VERSION,
             "point": point.as_dict(),
             "created_unix": time.time(),
             "report": payload,
@@ -188,23 +195,55 @@ class RunCache:
             if name.endswith(".json") and not name.startswith(".tmp-"):
                 yield os.path.join(self.directory, name)
 
+    @staticmethod
+    def _entry_schema(path: str) -> str:
+        """The schema bucket one entry file belongs to."""
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return "corrupt"
+        if not isinstance(entry, dict):
+            return "corrupt"
+        schema = entry.get("schema")
+        if schema is None:
+            return "unversioned"
+        return str(schema)
+
     def info(self) -> CacheInfo:
         entries = 0
         total = 0
+        by_schema: Dict[str, int] = {}
         for path in self._entry_paths():
             try:
                 total += os.path.getsize(path)
             except OSError:
                 continue
             entries += 1
+            bucket = self._entry_schema(path)
+            by_schema[bucket] = by_schema.get(bucket, 0) + 1
         return CacheInfo(
-            directory=self.directory, entries=entries, total_bytes=total
+            directory=self.directory,
+            entries=entries,
+            total_bytes=total,
+            by_schema=by_schema,
         )
 
-    def clear(self) -> int:
-        """Delete every cached run; returns the number removed."""
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete cached runs; returns the number removed.
+
+        With ``stale_only`` set, only entries written under an older
+        (or missing) cache schema version are dropped — along with any
+        corrupt files — leaving current entries warm.  The fingerprint
+        already rotates when inputs change, so stale entries can never
+        be *served*; this merely reclaims the disk they occupy.
+        """
         removed = 0
         for path in self._entry_paths():
+            if stale_only and self._entry_schema(path) == str(
+                CACHE_SCHEMA_VERSION
+            ):
+                continue
             try:
                 os.unlink(path)
             except OSError:

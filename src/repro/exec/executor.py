@@ -26,6 +26,12 @@ Completions stream: pass ``on_point`` to :meth:`SweepExecutor.run` /
 :meth:`~SweepExecutor.run_sweep` to observe each unique point's report
 the moment it resolves (cache hit, pooled completion, or in-process
 finish) — long sweeps can render and persist incrementally.
+
+A point with ``shards=N`` expands into N shard sub-points that ride
+the same dedupe/cache/pool machinery as any other point; after the
+sweep drains, each parent's shard payloads merge into one report
+(:mod:`repro.exec.shard`).  One run of one benchmark can therefore
+use the whole pool, not just one core.
 """
 
 from __future__ import annotations
@@ -92,7 +98,18 @@ def _pool_worker_chunk(
 
 
 def execute_point(point: RunPoint) -> BenchmarkReport:
-    """Run one point in-process, normalized through the codec."""
+    """Run one point in-process, normalized through the codec.
+
+    A ``shards=N`` parent point runs its N shard environments serially
+    in-process and merges them — the same expansion and merge the
+    executor's pooled paths use, so the report is byte-identical to a
+    pooled run of the same point.
+    """
+    if point.shards > 1 and point.shard_index < 0:
+        from repro.exec.shard import expand_shards, merge_shard_payloads
+
+        payloads = [_run_point_payload(sub) for sub in expand_shards(point)]
+        return report_from_dict(merge_shard_payloads(point, payloads))
     return report_from_dict(_run_point_payload(point))
 
 
@@ -122,6 +139,11 @@ class SweepStats:
     reused: int = 0
     respawned: int = 0
     bytes_shipped: int = 0
+    #: Shard sub-points scheduled by ``shards=N`` parent points (they
+    #: also count toward ``executed``/``workers`` like any point).
+    shard_points: int = 0
+    #: Parent points whose reports were merged from shard results.
+    merged_runs: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -138,6 +160,8 @@ class SweepStats:
             "reused": self.reused,
             "respawned": self.respawned,
             "bytes_shipped": self.bytes_shipped,
+            "shard_points": self.shard_points,
+            "merged_runs": self.merged_runs,
         }
 
 
@@ -200,6 +224,8 @@ class SweepExecutor:
         points: Sequence[RunPoint],
         on_point: Optional[OnPoint] = None,
     ) -> SweepResult:
+        from repro.exec.shard import expand_shards, merge_shard_payloads
+
         started = time.monotonic()
         points = list(points)
         fingerprints = [run_fingerprint(p) for p in points]
@@ -207,22 +233,54 @@ class SweepExecutor:
         payloads: Dict[str, Dict[str, object]] = {}
         todo: List[Tuple[str, RunPoint]] = []
         seen = set()
+        scheduled = set()
+        cache_hits = 0
+        shard_point_count = 0
+        #: (parent fingerprint, parent point, shard fingerprints) per
+        #: un-cached sharded parent; merged after execution.
+        shard_jobs: List[Tuple[str, RunPoint, List[str]]] = []
+
+        def probe(fp: str, point: RunPoint) -> bool:
+            nonlocal cache_hits
+            cached = self.cache.get(fp) if self.cache is not None else None
+            if cached is None:
+                return False
+            payloads[fp] = cached
+            cache_hits += 1
+            self._notify(on_point, point, cached)
+            return True
+
         for point, fp in zip(points, fingerprints):
             if fp in seen:
                 continue
             seen.add(fp)
-            cached = self.cache.get(fp) if self.cache is not None else None
-            if cached is not None:
-                payloads[fp] = cached
-                self._notify(on_point, point, cached)
-            else:
+            if probe(fp, point):
+                continue
+            if point.shards > 1 and point.shard_index < 0:
+                # Expand the parent into shard sub-points: they join
+                # the flat todo list, so every execution path (and the
+                # per-point cache) treats them like ordinary points.
+                subs = expand_shards(point)
+                sub_fps = [run_fingerprint(sub) for sub in subs]
+                shard_jobs.append((fp, point, sub_fps))
+                shard_point_count += len(subs)
+                for sub_fp, sub in zip(sub_fps, subs):
+                    if sub_fp in scheduled or sub_fp in payloads:
+                        continue
+                    if probe(sub_fp, sub):
+                        continue
+                    scheduled.add(sub_fp)
+                    todo.append((sub_fp, sub))
+            elif fp not in scheduled:
+                scheduled.add(fp)
                 todo.append((fp, point))
 
         stats = SweepStats(
             total_points=len(points),
             unique_points=len(seen),
-            cache_hits=len(seen) - len(todo),
+            cache_hits=cache_hits,
             executed=len(todo),
+            shard_points=shard_point_count,
         )
 
         if todo:
@@ -259,6 +317,19 @@ class SweepExecutor:
         else:
             stats.workers = 1
 
+        # Merge each sharded parent from its (now complete) shard
+        # payloads.  The merge is a pure function of the shard results
+        # in shard order, so every pool mode produces the same bytes;
+        # the parent payload is cached and streamed like any point.
+        for parent_fp, parent_point, sub_fps in shard_jobs:
+            merged = merge_shard_payloads(
+                parent_point, [payloads[sub_fp] for sub_fp in sub_fps]
+            )
+            payloads[parent_fp] = self._finish_point(
+                parent_fp, parent_point, merged, on_point
+            )
+        stats.merged_runs = len(shard_jobs)
+
         # Materialize a fresh report per output position: callers
         # mutate `.score`, so deduplicated positions must not alias.
         reports = [report_from_dict(payloads[fp]) for fp in fingerprints]
@@ -273,8 +344,12 @@ class SweepExecutor:
     def _notify(
         on_point: Optional[OnPoint], point: RunPoint, payload: Dict[str, object]
     ) -> None:
-        """Stream one resolved point to the caller, as its own object."""
-        if on_point is not None:
+        """Stream one resolved point to the caller, as its own object.
+
+        Shard sub-points are internal framing: callers asked for the
+        parent point, so only its merged report streams.
+        """
+        if on_point is not None and point.shard_index < 0:
             on_point(point, report_from_dict(payload))
 
     def _finish_point(

@@ -34,7 +34,26 @@ from repro.workloads.base import RunConfig
 #: hook section, the ``resilience`` section grew stall-adjusted
 #: SLO/goodput fields, and scenarios carry control policies + load
 #: multipliers; every report's shape changed.
-CACHE_SCHEMA_VERSION = 5
+#: 6: intra-run sharding — RunPoint grew ``shards``/``shard_index``,
+#: every report grew the ``sharding`` hook section and a ``shards``
+#: system field, and cache entries record the schema version they were
+#: written under; every report's shape changed.
+CACHE_SCHEMA_VERSION = 6
+
+
+def shard_seed(seed: int, index: int) -> int:
+    """Derive the seed for shard ``index`` of a run seeded ``seed``.
+
+    The split is a documented multiply-add: ``seed * 1_000_003 +
+    index + 1``.  The multiplier (a prime much larger than any shard
+    count) keeps distinct run seeds from colliding across shard
+    indices, and the ``+ 1`` keeps shard 0's seed distinct from the
+    parent seed — every shard environment draws from RNG streams no
+    unsharded run ever uses.  Being a pure function of ``(seed,
+    index)``, a ``shards=N`` run replays byte-identically from just the
+    parent point.
+    """
+    return seed * 1_000_003 + index + 1
 
 
 @dataclass(frozen=True, order=True)
@@ -58,6 +77,26 @@ class RunPoint:
     #: early-stopped reports are not interchangeable with full-window
     #: ones.
     early_stop: bool = False
+    #: Split this run across ``shards`` independent shard environments
+    #: (offered rate divided N ways, per-shard seeds via
+    #: :func:`shard_seed`); the executor merges the shard results into
+    #: one report.  ``shards=1`` is the unsharded path, bit-identical
+    #: to points built before this field existed.
+    shards: int = 1
+    #: Which shard this sub-point runs (``-1`` = the parent point).
+    #: Sub-points are framed by :func:`repro.exec.shard.expand_shards`
+    #: and carry their own fingerprints, so shard results cache
+    #: independently of the merged parent report.
+    shard_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if not -1 <= self.shard_index < self.shards:
+            raise ValueError(
+                f"shard_index {self.shard_index} out of range for "
+                f"{self.shards} shard(s)"
+            )
 
     @property
     def workload_name(self) -> str:
@@ -65,15 +104,24 @@ class RunPoint:
         return f"{self.benchmark}{self.variant}"
 
     def run_config(self) -> RunConfig:
+        seed = self.seed
+        load_scale = self.load_scale
+        if self.shards > 1 and self.shard_index >= 0:
+            # One shard environment: its slice of the offered rate,
+            # under a seed no unsharded run ever draws from.
+            seed = shard_seed(self.seed, self.shard_index)
+            load_scale = self.load_scale / self.shards
         config = RunConfig(
             sku_name=self.sku,
             kernel_version=self.kernel,
-            seed=self.seed,
+            seed=seed,
             warmup_seconds=self.warmup_seconds,
             measure_seconds=self.measure_seconds,
-            load_scale=self.load_scale,
+            load_scale=load_scale,
             batch=self.batch,
             early_stop=self.early_stop,
+            shards=self.shards,
+            shard_index=self.shard_index,
         )
         if self.faults:
             from repro.workloads.scenarios import apply_fault_scenario

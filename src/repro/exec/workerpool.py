@@ -95,6 +95,11 @@ def warm_pool_enabled() -> bool:
     return _env_flag(WARM_POOL_ENV, default=True)
 
 
+def _affinity_key(point: RunPoint) -> Tuple[str, int, int]:
+    """Exact-affinity identity of a point for dispatch purposes."""
+    return (point.workload_name, point.seed, point.shard_index)
+
+
 def _pool_size_cap() -> Optional[int]:
     raw = os.environ.get(WARM_POOL_SIZE_ENV, "").strip()
     if not raw:
@@ -300,6 +305,12 @@ class _Worker:
         #: warm-setup memos (datasets, validation results, warm cache
         #: sets) make repeats much cheaper, so dispatch prefers them.
         self.seen: set = set()
+        #: Exact ``(workload, seed, shard_index)`` triples this process
+        #: has run.  Warm-setup memos key on the RNG entry state, which
+        #: depends on the (derived) seed — so for sharded reruns the
+        #: same shard should land on the same worker, not just the same
+        #: workload.
+        self.seen_exact: set = set()
         self.shm = None
         self.reader: Optional[_RingReader] = None
         shm_name = None
@@ -482,11 +493,15 @@ class WarmPool:
         inflight: Dict[_Worker, Tuple[int, str, RunPoint, Optional[float]]] = {}
 
         def take_for(worker: _Worker) -> Tuple[str, RunPoint]:
-            """Pop the next point for ``worker``, preferring a workload
-            it has run before: warm-setup memos live per process, so
-            affinity keeps repeat sweeps on already-warm workers.  Falls
-            back to the queue head — a worker never idles while work is
-            pending."""
+            """Pop the next point for ``worker``, preferring (in order)
+            an exact point it has run before — per-seed warm memos, the
+            case that matters for sharded reruns — then any workload it
+            has run before.  Falls back to the queue head — a worker
+            never idles while work is pending."""
+            for index, (fp, point) in enumerate(pending):
+                if _affinity_key(point) in worker.seen_exact:
+                    del pending[index]
+                    return fp, point
             for index, (fp, point) in enumerate(pending):
                 if point.workload_name in worker.seen:
                     del pending[index]
@@ -505,6 +520,7 @@ class WarmPool:
                     worker = self._respawn(worker, run)
                     continue
                 worker.seen.add(point.workload_name)
+                worker.seen_exact.add(_affinity_key(point))
                 deadline = (
                     time.monotonic() + timeout_s if timeout_s is not None else None
                 )

@@ -14,6 +14,7 @@ exact sort-based path stays the default and is byte-for-byte unchanged.
 from __future__ import annotations
 
 import bisect
+import heapq
 from typing import Dict, List
 
 
@@ -137,6 +138,27 @@ class BucketedHistogram:
             if self._bucket_high_units(index) <= threshold:
                 within += count
         return within
+
+    def merge(self, other: "BucketedHistogram") -> "BucketedHistogram":
+        """Fold ``other``'s counts into this histogram (bucket-wise add).
+
+        Exact by construction: both histograms quantized their samples
+        with the same bucket mapping, so adding counts per bucket gives
+        precisely the histogram of the union stream.  Requires matching
+        ``precision_bits`` — merging across resolutions would silently
+        re-quantize one side.
+        """
+        if other.precision_bits != self.precision_bits:
+            raise ValueError(
+                "cannot merge histograms with different precision: "
+                f"{self.precision_bits} vs {other.precision_bits}"
+            )
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._total += other._total
+        if other._max_units > self._max_units:
+            self._max_units = other._max_units
+        return self
 
     def clear(self) -> None:
         self._counts.clear()
@@ -277,6 +299,79 @@ class LatencyRecorder:
                 "max": 0.0,
             }
         return self.summary()
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold ``other`` into this recorder.
+
+        The merged recorder answers every query exactly as if it had
+        recorded the union of both sample streams (plus both error
+        counts).  On the exact backend the two already-sorted sample
+        lists are merged in O(n + m) — no re-sort; on the HDR backend
+        bucket counts add (:meth:`BucketedHistogram.merge`).  Backends
+        must match: a bucketed side cannot give its samples back.
+        """
+        if other.backend != self.backend:
+            raise ValueError(
+                "cannot merge recorders with different backends: "
+                f"{self.backend!r} vs {other.backend!r}"
+            )
+        if self._hist is not None:
+            assert other._hist is not None
+            self._hist.merge(other._hist)
+        else:
+            self._ensure_sorted()
+            other._ensure_sorted()
+            self._samples = list(heapq.merge(self._samples, other._samples))
+            self._sorted = True
+        self.errors += other.errors
+        return self
+
+    def mergeable_state(self) -> Dict[str, object]:
+        """Codec-safe full state for cross-process shard merging.
+
+        The returned tree contains only JSON/binary-codec primitives
+        (ints, floats, strings, lists, dicts), round-trips losslessly
+        through both codecs, and reconstructs via :meth:`from_state`.
+        Exact backends ship their (sorted) samples; HDR backends ship
+        sparse bucket counts in ascending bucket order — canonical, so
+        two transports of the same recorder are byte-identical.
+        """
+        if self._hist is not None:
+            hist = self._hist
+            return {
+                "backend": "hdr",
+                "errors": self.errors,
+                "precision_bits": hist.precision_bits,
+                "buckets": [
+                    [index, hist._counts[index]] for index in sorted(hist._counts)
+                ],
+                "total": hist._total,
+                "max_units": hist._max_units,
+            }
+        self._ensure_sorted()
+        return {
+            "backend": "exact",
+            "errors": self.errors,
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LatencyRecorder":
+        """Reconstruct a recorder from :meth:`mergeable_state` output."""
+        backend = str(state["backend"])
+        recorder = cls(backend=backend)
+        recorder.errors = int(state["errors"])  # type: ignore[arg-type]
+        if backend == "hdr":
+            hist = BucketedHistogram(precision_bits=int(state["precision_bits"]))  # type: ignore[arg-type]
+            for index, count in state["buckets"]:  # type: ignore[union-attr]
+                hist._counts[int(index)] = int(count)
+            hist._total = int(state["total"])  # type: ignore[arg-type]
+            hist._max_units = int(state["max_units"])  # type: ignore[arg-type]
+            recorder._hist = hist
+        else:
+            recorder._samples = [float(s) for s in state["samples"]]  # type: ignore[union-attr]
+            recorder._sorted = True  # states are canonical: sorted
+        return recorder
 
     def reset(self) -> None:
         if self._hist is not None:

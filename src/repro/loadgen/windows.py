@@ -289,6 +289,53 @@ class WindowedSloTracker:
         """Every closed window as a compact report row."""
         return [w.as_row() for w in self.windows]
 
+    @staticmethod
+    def merge_window_series(
+        series_list: List[List[List[float]]],
+    ) -> List[List[float]]:
+        """Merge per-shard window series into one fleet-level series.
+
+        Shard environments close windows independently, so rows are
+        aligned *by window index*: fleet window ``i`` aggregates every
+        shard's window ``i`` (shards that closed fewer windows simply
+        stop contributing).  Counts (completions, errors, slo_met,
+        stall time) add; the window spans ``min(start)``..``max(end)``
+        across the contributing shards; percentiles are the
+        completion-weighted mean of the shard percentiles (zero when no
+        shard completed anything that window).  Pure and deterministic:
+        the output depends only on the input rows, in shard order, so
+        every execution path merges to the same bytes.
+        """
+        length = max((len(series) for series in series_list), default=0)
+        merged: List[List[float]] = []
+        for i in range(length):
+            rows = [series[i] for series in series_list if len(series) > i]
+            completions = sum(row[3] for row in rows)
+            weights = [row[3] for row in rows]
+            if completions > 0:
+                percentiles = [
+                    sum(row[col] * w for row, w in zip(rows, weights))
+                    / completions
+                    for col in (6, 7, 8)
+                ]
+            else:
+                percentiles = [0.0, 0.0, 0.0]
+            merged.append(
+                [
+                    float(i),
+                    min(row[1] for row in rows),
+                    max(row[2] for row in rows),
+                    completions,
+                    sum(row[4] for row in rows),
+                    sum(row[5] for row in rows),
+                    percentiles[0],
+                    percentiles[1],
+                    percentiles[2],
+                    sum(row[9] for row in rows),
+                ]
+            )
+        return merged
+
     def reset(self) -> None:
         """Restart accounting at a measurement-window edge.
 

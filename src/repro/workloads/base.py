@@ -39,6 +39,15 @@ class RunConfig:
     runs never stop early (shedding makes their windows deliberately
     non-stationary, like fault runs).
 
+    ``shards``/``shard_index`` implement intra-run sharding: a run with
+    ``shards=N`` is executed as N statistically-independent shard
+    environments, each carrying ``shard_index in [0, N)``, a seed
+    derived from the run seed (:func:`repro.exec.spec.shard_seed`), and
+    ``load_scale / N`` of the offered rate; the executor merges the N
+    shard results into one report.  ``shard_index == -1`` marks the
+    parent (unsharded or merged) view.  A config with ``shards=1`` is
+    byte-identical to one built before sharding existed.
+
     ``early_stop`` lets the harness end the measurement window early
     once the windowed latency means have converged (a deterministic,
     completion-count-based test — see
@@ -61,6 +70,8 @@ class RunConfig:
     fault_scenario: str = ""
     slo_control: SloControlPolicy = DISABLED_CONTROL
     early_stop: bool = False
+    shards: int = 1
+    shard_index: int = -1
 
     def __post_init__(self) -> None:
         if self.warmup_seconds < 0 or self.measure_seconds <= 0:
@@ -69,6 +80,13 @@ class RunConfig:
             raise ValueError("load_scale must be positive")
         if self.batch < 1:
             raise ValueError("batch must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not -1 <= self.shard_index < self.shards:
+            raise ValueError(
+                f"shard_index {self.shard_index} out of range for "
+                f"{self.shards} shard(s)"
+            )
 
     @property
     def sku(self) -> ServerSku:

@@ -438,6 +438,12 @@ class BenchmarkHarness:
                 1.0 if monitor.converged_at is not None else 0.0
             )
             result.extra["convergence_windows"] = float(monitor.windows_closed)
+        if self.config.shard_index >= 0:
+            # Shard sub-runs ship their full recorder state (sorted
+            # samples or HDR buckets) so the parent merge computes the
+            # union-stream percentiles exactly, instead of averaging
+            # per-shard summaries.
+            result.extra["shard_latency"] = self.recorder.mergeable_state()
         return result
 
     def _wrap_handler(self, handler: Handler) -> Handler:

@@ -79,3 +79,40 @@ class TestCli:
         assert main(["microbench"]) == 0
         out = capsys.readouterr().out
         assert "rpc_roundtrip" in out
+
+    def test_run_sharded(self, capsys, monkeypatch):
+        monkeypatch.setenv("DCPERF_CACHE", "0")
+        code = main([
+            "run", "-b", "taobench", "--measure-seconds", "0.5",
+            "--no-early-stop", "--shards", "2",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"]["shards"] == 2
+        sharding = payload["hooks"]["sharding"]
+        assert sharding["role"] == "merged"
+        assert len(sharding["shard_seeds"]) == 2
+
+    def test_run_rejects_bad_shards(self, capsys):
+        assert main(["run", "-b", "taobench", "--shards", "0"]) == 2
+
+    def test_cache_info_reports_schema_counts(self, tmp_path, capsys):
+        from repro.exec.cache import RunCache
+        from repro.exec.spec import CACHE_SCHEMA_VERSION, RunPoint
+
+        cache = RunCache(str(tmp_path))
+        cache.put("a" * 8, RunPoint(benchmark="taobench"), {"x": 1})
+        (tmp_path / ("b" * 8 + ".json")).write_text(
+            json.dumps({"fingerprint": "b" * 8, "schema": 4, "report": {}})
+        )
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"schema {CACHE_SCHEMA_VERSION}: 1 (current)" in out
+        assert "schema 4: 1" in out
+
+        assert (
+            main(["cache", "clear", "--stale", "--cache-dir", str(tmp_path)])
+            == 0
+        )
+        assert "removed 1 stale" in capsys.readouterr().out
+        assert cache.info().entries == 1

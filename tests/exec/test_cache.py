@@ -11,7 +11,7 @@ from repro.exec.cache import (
     cache_from_env,
     default_cache_dir,
 )
-from repro.exec.spec import RunPoint
+from repro.exec.spec import CACHE_SCHEMA_VERSION, RunPoint
 
 POINT = RunPoint(benchmark="taobench")
 PAYLOAD = {"benchmark": "taobench", "metric": 123.456}
@@ -70,6 +70,47 @@ class TestRunCache:
         cache = RunCache(str(tmp_path))
         (tmp_path / ".tmp-leftover.json").write_text("{}")
         assert cache.info().entries == 0
+
+    def test_entries_record_schema_version(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        path = cache.put("abc123", POINT, PAYLOAD)
+        entry = json.loads(open(path).read())
+        assert entry["schema"] == CACHE_SCHEMA_VERSION
+
+    def test_info_groups_by_schema(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        cache.put("a" * 8, POINT, PAYLOAD)
+        # A pre-schema-tagging entry and one from an older version.
+        (tmp_path / ("b" * 8 + ".json")).write_text(
+            json.dumps({"fingerprint": "b" * 8, "report": PAYLOAD})
+        )
+        (tmp_path / ("c" * 8 + ".json")).write_text(
+            json.dumps({"fingerprint": "c" * 8, "schema": 4, "report": PAYLOAD})
+        )
+        (tmp_path / ("d" * 8 + ".json")).write_text("{not json")
+        info = cache.info()
+        assert info.entries == 4
+        assert info.by_schema == {
+            str(CACHE_SCHEMA_VERSION): 1,
+            "unversioned": 1,
+            "4": 1,
+            "corrupt": 1,
+        }
+        assert info.as_dict()["by_schema"] == info.by_schema
+
+    def test_clear_stale_keeps_current_entries(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        cache.put("a" * 8, POINT, PAYLOAD)
+        (tmp_path / ("b" * 8 + ".json")).write_text(
+            json.dumps({"fingerprint": "b" * 8, "schema": 4, "report": PAYLOAD})
+        )
+        (tmp_path / ("c" * 8 + ".json")).write_text("{not json")
+        assert cache.clear(stale_only=True) == 2
+        info = cache.info()
+        assert info.entries == 1
+        assert info.by_schema == {str(CACHE_SCHEMA_VERSION): 1}
+        # The surviving entry still loads.
+        assert cache.get("a" * 8) == PAYLOAD
 
 
 class TestEnvironment:

@@ -233,6 +233,57 @@ print("storagebench smoke ok: disk_degraded replay byte-identical, "
       "cold sweep cached + warm rerun fully served")
 EOF
 
+echo "== shard smoke (shards=1 identity + shards=2 cross-path replay) =="
+python - <<'EOF'
+import json
+
+from repro.core.benchmark import Benchmark
+from repro.exec.executor import SweepExecutor, execute_point
+from repro.exec.spec import RunPoint
+
+base = dict(benchmark="taobench", sku="SKU2", seed=11,
+            measure_seconds=0.5, warmup_seconds=0.2, early_stop=False)
+
+# shards=1 must be bit-identical to the plain in-process runner.
+plain = RunPoint(**base)
+direct = json.dumps(
+    Benchmark.by_name("taobench").run(plain.run_config()).as_dict(),
+    sort_keys=True)
+via_executor = json.dumps(
+    SweepExecutor(max_workers=1, cache=None, use_cache=False)
+    .run([plain])[0].as_dict(), sort_keys=True)
+assert direct == via_executor, "shards=1 diverged from the in-proc runner"
+
+# A fixed shards=2 run replays byte-identically across the in-process
+# and warm-pool paths...
+sharded = RunPoint(shards=2, **base)
+inproc_ex = SweepExecutor(max_workers=1, cache=None, use_cache=False)
+inproc = json.dumps(inproc_ex.run([sharded])[0].as_dict(), sort_keys=True)
+assert inproc_ex.last_stats.shard_points == 2
+assert inproc_ex.last_stats.merged_runs == 1
+warm_ex = SweepExecutor(max_workers=2, cache=None, use_cache=False,
+                        warm_pool=True)
+warm = json.dumps(warm_ex.run([sharded])[0].as_dict(), sort_keys=True)
+assert warm_ex.last_stats.pool_mode == "warm"
+assert warm == inproc, "sharded warm-pool run diverged from in-proc"
+assert json.dumps(execute_point(sharded).as_dict(), sort_keys=True) == inproc
+
+# ...and round-trips the run cache: first sweep writes 2 shard entries
+# + the merged parent, the rerun is served entirely from the parent hit.
+cached_ex = SweepExecutor(max_workers=1)
+first = json.dumps(cached_ex.run([sharded])[0].as_dict(), sort_keys=True)
+rerun_ex = SweepExecutor(max_workers=1)
+rerun = json.dumps(rerun_ex.run([sharded])[0].as_dict(), sort_keys=True)
+assert rerun == first == inproc, "cached shard rerun changed bytes"
+assert rerun_ex.last_stats.cache_hits == 1
+assert rerun_ex.last_stats.executed == 0
+merged = json.loads(inproc)
+assert merged["system"]["shards"] == 2
+assert merged["hooks"]["sharding"]["role"] == "merged"
+print("shard smoke ok: shards=1 identical to in-proc runner, shards=2 "
+      "byte-identical across in-proc/warm/execute_point + cache round-trip")
+EOF
+
 echo "== engine perf smoke (vs BENCH_engine.json quick baseline) =="
 python tools/bench_engine.py --quick --repeat 3 --check BENCH_engine.json
 
