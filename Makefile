@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-workloads bench-sweep bench-storage bench-shard profile report clean-cache
+.PHONY: test verify bench bench-workloads bench-sweep bench-storage bench-shard bench-schedule profile report clean-cache
 
 # Fast path: just the unit suite.
 test:
@@ -34,6 +34,11 @@ bench-storage:
 # Intra-run shard scaling curve (writes BENCH_shard.json).
 bench-shard:
 	PYTHONPATH=src $(PYTHON) tools/bench_shard.py
+
+# FIFO vs LPT+stealing makespan on an imbalanced sweep, plus the
+# auto-shard plan demo (writes BENCH_schedule.json).
+bench-schedule:
+	PYTHONPATH=src $(PYTHON) tools/bench_schedule.py
 
 # Reproduce the cProfile that motivated the workload-model fast path.
 profile:

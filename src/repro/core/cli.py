@@ -145,6 +145,8 @@ def _suite_executor(args: argparse.Namespace) -> SweepExecutor:
         cache=cache,
         use_cache=use_cache,
         warm_pool=args.warm_pool,
+        schedule=args.schedule,
+        auto_shard=args.auto_shard,
     )
 
 
@@ -168,13 +170,20 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(f"fault scenario: {scenario.name} — {scenario.description}")
     on_point = None
     if args.progress:
-        done = {"n": 0}
+        executor = suite.executor
 
         def on_point(point, report):  # noqa: F811 - deliberate rebind
-            done["n"] += 1
+            prog = executor.progress() or {}
+            done = prog.get("done", "?")
+            total = prog.get("total", "?")
+            eta = prog.get("eta_seconds")
+            # The ETA comes from the runtime cost ledger; while the
+            # ledger is cold the line keeps plain counts instead of
+            # inventing a number.
+            suffix = f"  (eta {eta:.0f}s)" if eta is not None else ""
             print(
-                f"  [{done['n']}] {point.workload_name} on {point.sku}: "
-                f"{report.metric_value:.4g}",
+                f"  [{done}/{total}] {point.workload_name} on {point.sku}: "
+                f"{report.metric_value:.4g}{suffix}",
                 file=sys.stderr,
             )
 
@@ -235,9 +244,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         if stats.pool_mode == "warm":
             print(
                 f"warm pool: {stats.spawned} spawned, {stats.reused} reused, "
-                f"{stats.respawned} respawned, "
+                f"{stats.respawned} respawned, {stats.steals} stolen, "
                 f"{stats.bytes_shipped / 1024:.1f} KiB shipped"
             )
+        if stats.auto_sharded:
+            expanded = ", ".join(
+                f"{row['workload']}→{row['shards']}"
+                for row in stats.auto_shard_plan
+            )
+            print(f"auto-shard plan: {expanded}")
     if args.json:
         payload: Dict[str, object]
         if len(reports) == 1:
@@ -250,13 +265,24 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec.schedule import CostLedger
+
     cache = RunCache(args.cache_dir) if args.cache_dir else cache_from_env()
     if cache is None:
         cache = RunCache()
+    ledger = CostLedger(cache.directory)
     if args.cache_command == "clear":
         removed = cache.clear(stale_only=args.stale)
         what = "stale cached run(s)" if args.stale else "cached run(s)"
         print(f"removed {removed} {what} from {cache.directory}")
+        # A full clear drops the runtime cost ledger too (the history
+        # belonged to the runs just removed) unless asked to keep it;
+        # a stale-only clear keeps it — current runs still match it.
+        if not args.stale:
+            if args.keep_costs:
+                print("kept the runtime cost ledger (--keep-costs)")
+            elif ledger.clear():
+                print("removed the runtime cost ledger")
         return 0
     from repro.exec.spec import CACHE_SCHEMA_VERSION
 
@@ -269,6 +295,26 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             " (current)" if schema == str(CACHE_SCHEMA_VERSION) else ""
         )
         print(f"  schema {schema}: {info.by_schema[schema]}{marker}")
+    if args.costs:
+        print(f"cost ledger: {ledger.entries()} recorded fingerprint(s)")
+        summary = ledger.workload_summary()
+        if summary:
+            rows = [
+                [
+                    workload,
+                    int(row["count"]),
+                    f"{row['mean_s'] * 1000.0:.0f}",
+                    f"{row['max_s'] * 1000.0:.0f}",
+                ]
+                for workload, row in sorted(summary.items())
+            ]
+            print(
+                format_table(
+                    ["workload", "runs", "mean ms", "max ms"], rows
+                )
+            )
+        else:
+            print("  (ledger is cold: no recorded runtimes yet)")
     return 0
 
 
@@ -373,7 +419,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument(
         "--progress",
         action="store_true",
-        help="stream each finished point to stderr as the sweep runs",
+        help="stream each finished point to stderr as the sweep runs "
+        "(done/total, plus a cost-ledger ETA once the ledger is warm)",
+    )
+    p_suite.add_argument(
+        "--schedule",
+        choices=["lpt", "fifo"],
+        default=None,
+        help="dispatch policy: lpt (default) runs the longest-predicted "
+        "points first for minimum makespan, fifo is historical spec "
+        "order; reports are byte-identical either way",
+    )
+    p_suite.add_argument(
+        "--auto-shard",
+        action="store_true",
+        help="expand predicted straggler points into shards=N before "
+        "dispatch (deterministic plan from the cost ledger snapshot "
+        "and worker count; the plan is printed and recorded)",
     )
     p_suite.add_argument(
         "--no-cache",
@@ -413,6 +475,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="with clear: drop only entries written under an older "
         "cache schema version (plus corrupt files), keeping current "
         "entries warm",
+    )
+    p_cache.add_argument(
+        "--costs",
+        action="store_true",
+        help="with info: also print the runtime cost ledger (recorded "
+        "fingerprints plus per-workload mean/max wall times)",
+    )
+    p_cache.add_argument(
+        "--keep-costs",
+        action="store_true",
+        help="with clear: keep the runtime cost ledger (by default a "
+        "full clear removes it along with the cached runs)",
     )
     p_cache.set_defaults(func=_cmd_cache)
 

@@ -18,10 +18,26 @@ package makes every sweep in the repo parallel and memoized:
   persistent, fingerprint-keyed worker processes with a shared-memory
   binary-codec result channel; repeated sweeps reuse warm workers
   instead of cold-starting a pool per sweep.
+* :mod:`repro.exec.schedule` — cost-model-driven scheduling: a
+  persistent :class:`~repro.exec.schedule.CostLedger` of measured
+  per-point wall times feeds longest-predicted-first dispatch,
+  queue-aware stealing, and deterministic straggler auto-sharding, so
+  the makespan of an imbalanced sweep is optimized, not accidental.
 """
 
 from repro.exec.cache import RunCache, cache_from_env, default_cache_dir
-from repro.exec.executor import SweepExecutor, SweepStats, execute_point
+from repro.exec.executor import (
+    SweepExecutor,
+    SweepStats,
+    auto_workers,
+    execute_point,
+)
+from repro.exec.schedule import (
+    CostLedger,
+    ledger_for_cache,
+    order_lpt,
+    plan_auto_shards,
+)
 from repro.exec.serialize import (
     report_from_bytes,
     report_from_dict,
@@ -44,17 +60,22 @@ from repro.exec.workerpool import (
 )
 
 __all__ = [
+    "CostLedger",
     "RunCache",
     "RunPoint",
     "SweepExecutor",
     "SweepStats",
     "WarmPool",
+    "auto_workers",
     "cache_from_env",
     "code_fingerprint",
     "default_cache_dir",
     "execute_point",
     "expand_grid",
     "get_warm_pool",
+    "ledger_for_cache",
+    "order_lpt",
+    "plan_auto_shards",
     "model_fingerprint",
     "pool_key",
     "report_from_bytes",

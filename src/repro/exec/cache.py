@@ -27,6 +27,12 @@ from repro.exec.spec import CACHE_SCHEMA_VERSION, RunPoint
 CACHE_DIR_ENV = "DCPERF_CACHE_DIR"
 #: Set to ``0`` to disable the persistent cache entirely.
 CACHE_ENABLE_ENV = "DCPERF_CACHE"
+#: Sidecar file the runtime cost ledger keeps next to the cache
+#: entries (see :class:`repro.exec.schedule.CostLedger`).  It shares
+#: the directory — surviving, relocating, and sandboxing exactly like
+#: the cache — but is not itself a cache entry, so ``info``/``clear``
+#: must skip it.
+LEDGER_FILENAME = "cost_ledger.json"
 
 
 def default_cache_dir() -> str:
@@ -192,7 +198,11 @@ class RunCache:
         except OSError:
             return
         for name in sorted(names):
-            if name.endswith(".json") and not name.startswith(".tmp-"):
+            if (
+                name.endswith(".json")
+                and not name.startswith(".tmp-")
+                and name != LEDGER_FILENAME
+            ):
                 yield os.path.join(self.directory, name)
 
     @staticmethod

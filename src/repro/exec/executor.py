@@ -36,6 +36,8 @@ use the whole pool, not just one core.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -50,6 +52,13 @@ from typing import (
 )
 
 from repro.exec.cache import RunCache, cache_from_env
+from repro.exec.schedule import (
+    CostLedger,
+    describe_plan,
+    ledger_for_cache,
+    order_lpt,
+    plan_auto_shards,
+)
 from repro.exec.serialize import report_from_dict, report_to_dict
 from repro.exec.spec import RunPoint, run_fingerprint
 
@@ -59,10 +68,59 @@ if TYPE_CHECKING:  # deferred: repro.core's __init__ imports repro.exec
 #: Incremental completion callback: ``(point, report)`` per unique point.
 OnPoint = Callable[[RunPoint, "BenchmarkReport"], None]
 
+#: Dispatch policy: pick the env default, or force one per executor.
+SCHEDULE_ENV = "DCPERF_SCHEDULE"
+SCHEDULE_LPT = "lpt"
+SCHEDULE_FIFO = "fifo"
+
+#: cgroup v2 CPU quota file (bind-mounted read-only in containers).
+_CGROUP_CPU_MAX = "/sys/fs/cgroup/cpu.max"
+
+
+def _cgroup_cpu_quota(path: str = _CGROUP_CPU_MAX) -> Optional[int]:
+    """Whole CPUs allowed by the cgroup v2 quota, or ``None``.
+
+    ``cpu.max`` holds ``"<quota> <period>"`` in microseconds, or
+    ``"max ..."`` when unthrottled.  A container throttled to e.g.
+    ``150000 100000`` can progress 1.5 CPUs of work per wall second no
+    matter how many cores it *sees*; rounding up to 2 keeps a little
+    headroom without over-subscribing 16 workers onto 1.5 CPUs.
+    """
+    try:
+        with open(path) as fh:
+            parts = fh.read().split()
+    except OSError:
+        return None
+    if not parts or parts[0] == "max":
+        return None
+    try:
+        quota = int(parts[0])
+        period = int(parts[1]) if len(parts) > 1 else 100_000
+    except ValueError:
+        return None
+    if quota <= 0 or period <= 0:
+        return None
+    return max(1, math.ceil(quota / period))
+
 
 def auto_workers() -> int:
-    """Default worker count: one per CPU, capped to keep startup sane."""
-    return max(1, min(os.cpu_count() or 1, 16))
+    """Default worker count: one per *usable* CPU, capped at 16.
+
+    ``os.cpu_count()`` reports the host's cores; in a container pinned
+    to a subset (cpuset) or throttled by a cgroup quota that number
+    over-subscribes the pool — 16 workers timesharing 2 usable CPUs
+    thrash instead of parallelizing.  The effective count is the
+    scheduling affinity mask (where available) further clamped by the
+    cgroup v2 CPU quota.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        cpus = min(cpus, quota)
+    return max(1, min(cpus, 16))
 
 
 def _run_point_payload(point: RunPoint) -> Dict[str, object]:
@@ -144,6 +202,17 @@ class SweepStats:
     shard_points: int = 0
     #: Parent points whose reports were merged from shard results.
     merged_runs: int = 0
+    #: Points a worker took without affinity while an affine worker was
+    #: busy (cost-aware dispatch only): stealing beat idling.
+    steals: int = 0
+    #: Wall times recorded into the runtime cost ledger this sweep.
+    ledger_recorded: int = 0
+    #: Points expanded by the deterministic auto-shard planner, plus
+    #: the full replayable plan (one row per expanded point, in spec
+    #: order, carrying the predicted cost and worker count that chose
+    #: its shard fan-out).
+    auto_sharded: int = 0
+    auto_shard_plan: List[Dict[str, object]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -162,6 +231,10 @@ class SweepStats:
             "bytes_shipped": self.bytes_shipped,
             "shard_points": self.shard_points,
             "merged_runs": self.merged_runs,
+            "steals": self.steals,
+            "ledger_recorded": self.ledger_recorded,
+            "auto_sharded": self.auto_sharded,
+            "auto_shard_plan": [dict(row) for row in self.auto_shard_plan],
         }
 
 
@@ -184,6 +257,9 @@ class SweepExecutor:
         use_cache: bool = True,
         point_timeout_s: Optional[float] = None,
         warm_pool: Optional[bool] = None,
+        schedule: Optional[str] = None,
+        auto_shard: bool = False,
+        ledger: Optional[CostLedger] = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -191,6 +267,25 @@ class SweepExecutor:
             raise ValueError(
                 f"point_timeout_s must be positive, got {point_timeout_s}"
             )
+        if schedule is None:
+            schedule = (
+                os.environ.get(SCHEDULE_ENV, "").strip().lower()
+                or SCHEDULE_LPT
+            )
+        if schedule not in (SCHEDULE_LPT, SCHEDULE_FIFO):
+            raise ValueError(
+                f"schedule must be {SCHEDULE_LPT!r} or {SCHEDULE_FIFO!r}, "
+                f"got {schedule!r}"
+            )
+        #: Dispatch policy: ``"lpt"`` (default) orders pending work
+        #: longest-predicted-first with queue-aware stealing; ``"fifo"``
+        #: is the historical spec-order dispatch.  Merged results are
+        #: byte-identical either way — only completion order moves.
+        self.schedule = schedule
+        #: Expand predicted stragglers into ``shards=N`` sub-points
+        #: before dispatch (deterministic plan; see
+        #: :func:`repro.exec.schedule.plan_auto_shards`).
+        self.auto_shard = auto_shard
         self.max_workers = max_workers or auto_workers()
         #: Wall-clock budget per pooled point; a straggler past this is
         #: abandoned and re-run in-process.  ``None`` = no timeout.
@@ -208,7 +303,16 @@ class SweepExecutor:
         self.cache = cache if cache is not None else (
             cache_from_env() if use_cache else None
         )
+        #: Runtime cost ledger: persisted next to the run cache (or
+        #: in-memory only when the sweep is cache-less).
+        self.ledger = ledger if ledger is not None else ledger_for_cache(
+            self.cache
+        )
         self.last_stats: Optional[SweepStats] = None
+        #: Live progress of the current/most recent sweep (see
+        #: :meth:`progress`); ``None`` before the first ``run_sweep``.
+        self._progress: Optional[Dict[str, object]] = None
+        self._predicted: Dict[str, float] = {}
 
     # -- public API -----------------------------------------------------------
     def run(
@@ -228,7 +332,35 @@ class SweepExecutor:
 
         started = time.monotonic()
         points = list(points)
+        ledger = self.ledger.load()
+
+        # Deterministic straggler auto-sharding happens *before* any
+        # fingerprinting or cache probing: the plan is a pure function
+        # of the spec points, the worker count, and the ledger snapshot
+        # loaded above — never of live timing or cache state — so the
+        # same inputs always shard the same way (and the recorded plan
+        # replays a run exactly).
+        plan_record: List[Dict[str, object]] = []
+        if self.auto_shard:
+            plan = plan_auto_shards(points, self.max_workers, ledger.predict)
+            if plan:
+                plan_record = describe_plan(
+                    plan, points, ledger.predict, self.max_workers
+                )
+                points = [
+                    dataclasses.replace(p, shards=plan[p]) if p in plan else p
+                    for p in points
+                ]
+
         fingerprints = [run_fingerprint(p) for p in points]
+        self._progress = {
+            "done": 0,
+            "total": len(set(fingerprints)),
+            "remaining_s": 0.0,
+            "workers": 1,
+            "ledger_backed": False,
+        }
+        self._predicted = {}
 
         payloads: Dict[str, Dict[str, object]] = {}
         todo: List[Tuple[str, RunPoint]] = []
@@ -281,22 +413,59 @@ class SweepExecutor:
             cache_hits=cache_hits,
             executed=len(todo),
             shard_points=shard_point_count,
+            auto_sharded=len(plan_record),
+            auto_shard_plan=plan_record,
         )
+
+        def predict_fp(fp: str, point: RunPoint) -> float:
+            return ledger.predict(point, fingerprint=fp)
+
+        def record_cost(fp: str, point: RunPoint, seconds: float) -> None:
+            ledger.record(fp, point, seconds)
+            stats.ledger_recorded += 1
 
         if todo:
             workers = min(self.max_workers, len(todo))
+            if self.schedule == SCHEDULE_LPT and len(todo) > 1:
+                # Longest-predicted-first dispatch.  Results are keyed
+                # by fingerprint and merged in spec order below, so
+                # only completion order (and the makespan) moves.
+                todo = order_lpt(todo, predict_fp)
+            self._predicted = {}
+            ledger_backed = False
+            for fp, point in todo:
+                seconds, source = ledger.predict_with_source(point, fp)
+                self._predicted[fp] = seconds
+                ledger_backed = ledger_backed or source != "seed"
+            self._progress.update(
+                remaining_s=sum(self._predicted.values()),
+                workers=workers,
+                ledger_backed=ledger_backed,
+            )
             if workers == 1:
                 stats.workers = 1
                 stats.pool_mode = "inproc"
                 for fp, point in todo:
+                    t0 = time.monotonic()
+                    payload = _run_point_payload(point)
+                    record_cost(fp, point, time.monotonic() - t0)
                     payloads[fp] = self._finish_point(
-                        fp, point, _run_point_payload(point), on_point
+                        fp, point, payload, on_point
                     )
             else:
                 if self.warm_pool:
                     stats.pool_mode = "warm"
                     pooled, lost, timeouts = self._run_warm(
-                        todo, workers, stats, on_point
+                        todo,
+                        workers,
+                        stats,
+                        on_point,
+                        predict=(
+                            predict_fp
+                            if self.schedule == SCHEDULE_LPT
+                            else None
+                        ),
+                        on_timing=record_cost,
                     )
                 else:
                     stats.pool_mode = "cold"
@@ -311,8 +480,11 @@ class SweepExecutor:
                 # so one bad point cannot sink a whole sweep.
                 stats.recovered = len(lost)
                 for fp, point in lost:
+                    t0 = time.monotonic()
+                    payload = _run_point_payload(point)
+                    record_cost(fp, point, time.monotonic() - t0)
                     payloads[fp] = self._finish_point(
-                        fp, point, _run_point_payload(point), on_point
+                        fp, point, payload, on_point
                     )
         else:
             stats.workers = 1
@@ -334,21 +506,49 @@ class SweepExecutor:
         # mutate `.score`, so deduplicated positions must not alias.
         reports = [report_from_dict(payloads[fp]) for fp in fingerprints]
         stats.elapsed_seconds = time.monotonic() - started
+        if stats.ledger_recorded:
+            ledger.save()
         self.last_stats = stats
         return SweepResult(
             reports=reports, stats=stats, fingerprints=fingerprints
         )
 
     # -- internals ------------------------------------------------------------
-    @staticmethod
+    def progress(self) -> Optional[Dict[str, object]]:
+        """Live ``done/total`` plus a cost-model ETA for this sweep.
+
+        ``eta_seconds`` is the predicted wall time still owed — the
+        sum of the pending points' predicted costs divided by the
+        sweep's parallelism — and is ``None`` while the ledger is cold
+        (every prediction seed-table-only): a plain count is honest
+        then, a made-up ETA is not.
+        """
+        if self._progress is None:
+            return None
+        eta: Optional[float] = None
+        if self._progress["ledger_backed"]:
+            eta = max(0.0, float(self._progress["remaining_s"])) / max(
+                1, int(self._progress["workers"])
+            )
+        return {
+            "done": int(self._progress["done"]),
+            "total": int(self._progress["total"]),
+            "eta_seconds": eta,
+        }
+
     def _notify(
-        on_point: Optional[OnPoint], point: RunPoint, payload: Dict[str, object]
+        self,
+        on_point: Optional[OnPoint],
+        point: RunPoint,
+        payload: Dict[str, object],
     ) -> None:
         """Stream one resolved point to the caller, as its own object.
 
         Shard sub-points are internal framing: callers asked for the
         parent point, so only its merged report streams.
         """
+        if point.shard_index < 0 and self._progress is not None:
+            self._progress["done"] = int(self._progress["done"]) + 1
         if on_point is not None and point.shard_index < 0:
             on_point(point, report_from_dict(payload))
 
@@ -367,6 +567,10 @@ class SweepExecutor:
         """
         if self.cache is not None:
             self.cache.put(fp, point, payload)
+        if self._progress is not None and fp in self._predicted:
+            self._progress["remaining_s"] = float(
+                self._progress["remaining_s"]
+            ) - self._predicted.pop(fp)
         self._notify(on_point, point, payload)
         return payload
 
@@ -376,13 +580,17 @@ class SweepExecutor:
         workers: int,
         stats: SweepStats,
         on_point: Optional[OnPoint],
+        predict=None,
+        on_timing=None,
     ) -> Tuple[Dict[str, Dict[str, object]], List[Tuple[str, RunPoint]], int]:
         """Fan ``todo`` out over the process-global warm pool.
 
         Completions stream back as they finish: each one is cached (and
         surfaced through ``on_point``) before the sweep is over, so a
         killed sweep keeps every finished point and long sweeps render
-        incrementally.
+        incrementally.  ``predict`` turns on cost-aware dispatch in the
+        pool (band-limited affinity + stealing); ``on_timing`` feeds
+        measured wall times back into the runtime cost ledger.
         """
         from repro.exec.workerpool import get_warm_pool
 
@@ -394,12 +602,15 @@ class SweepExecutor:
             on_result=lambda fp, point, payload: self._finish_point(
                 fp, point, payload, on_point
             ),
+            predict=predict,
+            on_timing=on_timing,
         )
         stats.workers = run.workers
         stats.spawned = run.spawned
         stats.reused = run.reused
         stats.respawned = run.respawned
         stats.bytes_shipped = run.bytes_shipped
+        stats.steals = run.steals
         return completed, lost, timeouts
 
     @staticmethod

@@ -1,0 +1,389 @@
+"""Cost-model-driven sweep scheduling: ledger, LPT order, auto-shard.
+
+The sweep executor used to dispatch points in spec order, which is
+FIFO from the pool's point of view: a long storagebench+faults point
+that happens to sit last in the grid starts only after every short
+point has drained, and the rest of the pool idles while one worker
+finishes it.  Makespan was whatever spec order produced.  This module
+makes it a *measured, optimized* quantity:
+
+* :class:`CostLedger` — a persistent sidecar (next to the run cache)
+  of measured per-point wall times, keyed by run fingerprint with
+  per-``(workload, duration, shards, faults)`` class aggregates.  A
+  static seed table (:data:`SEED_COST_RATES`, seconds of wall clock
+  per simulated second, calibrated on the reference container) covers
+  cold starts, so even the very first sweep knows that an aibench
+  point dwarfs a djangobench point of the same window.
+* :func:`order_lpt` — longest-predicted-first ordering of the pending
+  work (classic LPT list scheduling).  Only *completion order* moves:
+  results are keyed by fingerprint and merged back in spec order, so
+  reports stay byte-identical to FIFO dispatch.
+* :func:`plan_auto_shards` — deterministic straggler expansion: a
+  point whose predicted cost exceeds the mean per-worker load of its
+  sweep is split into ``shards=N`` sub-points *before* dispatch, with
+  N a pure function of the predicted costs and the worker count —
+  never of live timing — so the chosen plan (recorded in
+  ``SweepStats``) replays exactly from its inputs.
+
+Queue-aware stealing lives in :meth:`WarmPool.run_points
+<repro.exec.workerpool.WarmPool.run_points>`: under a cost model the
+pool keeps the affinity tiers (exact point, then workload) as
+tiebreakers *within a predicted-cost band* of the queue head, and an
+idle worker whose only pending work is affinity-bound to a busy
+worker steals it rather than idling (counted in ``steals``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import LEDGER_FILENAME
+from repro.exec.spec import RunPoint, cost_class, dedupe
+
+#: Predictor signature used by the executor and warm pool:
+#: ``(fingerprint, point) -> predicted wall seconds``.
+Predictor = Callable[[str, RunPoint], float]
+
+#: Seed cost table: seconds of wall clock per simulated second for a
+#: warm worker, measured on the reference container (see
+#: ``tools/bench_schedule.py``).  Only the *relative* magnitudes
+#: matter — they make cold-ledger LPT order the imbalance correctly.
+SEED_COST_RATES: Dict[str, float] = {
+    "aibench": 0.75,
+    "taobench": 0.18,
+    "storagebench": 0.17,
+    "feedsim": 0.03,
+    "mediawiki": 0.03,
+    "djangobench": 0.02,
+    "sparkbench": 0.01,
+    "videotranscode": 0.01,
+}
+
+#: Fallback rate for workloads the seed table has never seen.
+DEFAULT_COST_RATE = 0.10
+
+#: A fault scenario adds injection + control-plane work on top of the
+#: clean run; the seed model inflates faulted points by this factor.
+FAULT_COST_FACTOR = 1.25
+
+#: Affinity tiebreak band for cost-aware dispatch: a worker may prefer
+#: an affine point over the queue head only while the affine point's
+#: predicted cost is within this factor of the head's (taking a much
+#: shorter point first would forfeit the LPT makespan bound).
+AFFINITY_COST_BAND = 2.0
+
+#: EWMA weight of the newest observation when a fingerprint recurs —
+#: recent wall times reflect the current machine state best, but one
+#: noisy run should not own the estimate.
+_EWMA_ALPHA = 0.5
+
+#: Prediction provenance markers (``predict_with_source``).
+SOURCE_EXACT = "exact"
+SOURCE_CLASS = "class"
+SOURCE_SEED = "seed"
+
+
+def seed_cost(point: RunPoint) -> float:
+    """Static cold-start estimate of one point's wall seconds."""
+    rate = SEED_COST_RATES.get(point.benchmark, DEFAULT_COST_RATE)
+    seconds = rate * (point.warmup_seconds + point.measure_seconds)
+    if point.faults:
+        seconds *= FAULT_COST_FACTOR
+    if point.shards > 1 and point.shard_index >= 0:
+        seconds /= point.shards
+    return seconds
+
+
+def _class_key(point: RunPoint) -> str:
+    """Flat JSON-safe form of :func:`repro.exec.spec.cost_class`."""
+    workload, duration, shards, faults = cost_class(point)
+    return f"{workload}|{duration:g}|{shards}|{faults or '-'}"
+
+
+class CostLedger:
+    """Persistent ledger of measured per-point wall times.
+
+    Lives as a single JSON sidecar (:data:`~repro.exec.cache.
+    LEDGER_FILENAME`) next to the run cache entries, surviving across
+    invocations exactly like the cache does — and degrading exactly
+    like it too: a corrupt file loads as empty, an unwritable
+    directory turns ``save()`` into a warned no-op, and a ``None``
+    directory keeps the ledger purely in-memory.  Losing cost history
+    must never lose (or even slow) the sweep.
+    """
+
+    def __init__(self, directory: Optional[str]) -> None:
+        self.directory = directory
+        #: fingerprint -> {"seconds": EWMA wall time, "count": runs}
+        self.by_fingerprint: Dict[str, Dict[str, float]] = {}
+        #: class key -> {"total_s", "count", "max_s"} aggregates
+        self.by_class: Dict[str, Dict[str, float]] = {}
+        self._loaded = False
+        self._dirty = False
+
+    # -- persistence ----------------------------------------------------------
+    @property
+    def path(self) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, LEDGER_FILENAME)
+
+    @staticmethod
+    def _parse(path: str) -> Tuple[Dict, Dict]:
+        """Both ledger maps from one file; empty maps on any damage."""
+        try:
+            with open(path) as fh:
+                raw = json.load(fh)
+            by_fp = dict(raw["by_fingerprint"])
+            by_class = dict(raw["by_class"])
+            for entry in list(by_fp.values()) + list(by_class.values()):
+                if not isinstance(entry, dict):
+                    raise ValueError("malformed ledger entry")
+            return by_fp, by_class
+        except (OSError, ValueError, KeyError, TypeError):
+            return {}, {}
+
+    def load(self) -> "CostLedger":
+        """Read the sidecar once per instance (idempotent, graceful)."""
+        if self._loaded or self.path is None:
+            self._loaded = True
+            return self
+        self.by_fingerprint, self.by_class = self._parse(self.path)
+        self._loaded = True
+        return self
+
+    def save(self) -> Optional[str]:
+        """Atomically persist, merging with what is on disk now.
+
+        Concurrent sweeps sharing one cache directory each merge their
+        recordings over the current file contents before the rename,
+        so the last writer extends — rather than erases — the others'
+        history.  Failures warn once and disable persistence for this
+        instance; the in-memory ledger keeps predicting.
+        """
+        if self.path is None or not self._dirty:
+            return None
+        disk_fp, disk_class = self._parse(self.path)
+        # This instance's recordings win on collision: they are newer.
+        disk_fp.update(self.by_fingerprint)
+        disk_class.update(self.by_class)
+        payload = {
+            "version": 1,
+            "by_fingerprint": disk_fp,
+            "by_class": disk_class,
+        }
+        tmp_path: Optional[str] = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-ledger-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp_path, self.path)
+        except OSError as exc:
+            if tmp_path is not None:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+            warnings.warn(
+                f"cost ledger write to {self.directory!r} failed ({exc}); "
+                "runtime history will not persist for this process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.directory = None  # stop retrying every sweep
+            return None
+        self._dirty = False
+        return self.path
+
+    def clear(self) -> bool:
+        """Delete the sidecar and forget in-memory history."""
+        self.by_fingerprint = {}
+        self.by_class = {}
+        self._dirty = False
+        if self.path is None:
+            return False
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        return True
+
+    # -- recording ------------------------------------------------------------
+    def record(self, fingerprint: str, point: RunPoint, seconds: float) -> None:
+        """Fold one measured wall time into both ledger maps."""
+        if seconds < 0:
+            return
+        self.load()
+        entry = self.by_fingerprint.get(fingerprint)
+        if entry is None:
+            self.by_fingerprint[fingerprint] = {
+                "seconds": seconds,
+                "count": 1,
+            }
+        else:
+            entry["seconds"] = (
+                (1.0 - _EWMA_ALPHA) * float(entry["seconds"])
+                + _EWMA_ALPHA * seconds
+            )
+            entry["count"] = int(entry["count"]) + 1
+        key = _class_key(point)
+        agg = self.by_class.get(key)
+        if agg is None:
+            self.by_class[key] = {
+                "total_s": seconds,
+                "count": 1,
+                "max_s": seconds,
+            }
+        else:
+            agg["total_s"] = float(agg["total_s"]) + seconds
+            agg["count"] = int(agg["count"]) + 1
+            agg["max_s"] = max(float(agg["max_s"]), seconds)
+        self._dirty = True
+
+    # -- prediction -----------------------------------------------------------
+    def predict_with_source(
+        self, point: RunPoint, fingerprint: Optional[str] = None
+    ) -> Tuple[float, str]:
+        """Predicted wall seconds plus where the number came from.
+
+        Exact fingerprint history beats the class aggregate beats the
+        static seed table — the same specificity ladder the warm
+        pool's affinity tiers use.
+        """
+        self.load()
+        if fingerprint is not None:
+            entry = self.by_fingerprint.get(fingerprint)
+            if entry is not None:
+                return float(entry["seconds"]), SOURCE_EXACT
+        agg = self.by_class.get(_class_key(point))
+        if agg is not None and int(agg["count"]) > 0:
+            return float(agg["total_s"]) / int(agg["count"]), SOURCE_CLASS
+        return seed_cost(point), SOURCE_SEED
+
+    def predict(
+        self, point: RunPoint, fingerprint: Optional[str] = None
+    ) -> float:
+        return self.predict_with_source(point, fingerprint)[0]
+
+    def entries(self) -> int:
+        """Recorded fingerprints (the ledger's cardinality)."""
+        self.load()
+        return len(self.by_fingerprint)
+
+    def workload_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-workload mean/max/count over the class aggregates."""
+        self.load()
+        out: Dict[str, Dict[str, float]] = {}
+        for key, agg in self.by_class.items():
+            workload = key.split("|", 1)[0]
+            row = out.setdefault(
+                workload, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            row["count"] += int(agg["count"])
+            row["total_s"] += float(agg["total_s"])
+            row["max_s"] = max(row["max_s"], float(agg["max_s"]))
+        for row in out.values():
+            row["mean_s"] = row["total_s"] / row["count"] if row["count"] else 0.0
+        return out
+
+
+def ledger_for_cache(cache) -> CostLedger:
+    """The sidecar ledger for a run cache (in-memory when cache-less)."""
+    return CostLedger(cache.directory if cache is not None else None)
+
+
+def order_lpt(
+    todo: Sequence[Tuple[str, RunPoint]], predict: Predictor
+) -> List[Tuple[str, RunPoint]]:
+    """Pending work longest-predicted-first (stable on ties).
+
+    Classic LPT list scheduling: handing out the biggest jobs first
+    bounds the makespan at 4/3 of optimal for any greedy pool, where
+    FIFO spec order can approach ``short_total/W + longest`` — the
+    whole pool idling while one straggler that was scheduled last
+    finishes.  Ties (and near-ties) keep spec order, so the ordering
+    is deterministic for a fixed ledger snapshot.
+    """
+    indexed = list(enumerate(todo))
+    indexed.sort(key=lambda item: (-predict(item[1][0], item[1][1]), item[0]))
+    return [entry for _, entry in indexed]
+
+
+def plan_auto_shards(
+    points: Sequence[RunPoint],
+    workers: int,
+    predict: Callable[[RunPoint], float],
+    max_shards: Optional[int] = None,
+) -> Dict[RunPoint, int]:
+    """Deterministic straggler expansion plan: point -> shard count.
+
+    A point whose predicted cost exceeds the mean per-worker load of
+    the (deduplicated) sweep would cap the makespan all by itself; it
+    is split into ``ceil(cost / mean_load)`` shards, clamped to the
+    worker count, so its pieces pack like any other point.  The plan
+    is a **pure function** of the predicted costs and ``workers`` —
+    live timing never feeds in — so the same specs against the same
+    ledger snapshot always produce the same plan, and the recorded
+    plan (``SweepStats.auto_shard_plan``) replays a run exactly.
+
+    Only plain points (``shards == 1``, parent frame) are eligible:
+    an explicit ``shards=N`` is the user's plan already.
+    """
+    unique = dedupe(points)
+    if workers < 2 or not unique:
+        return {}
+    cap = min(workers, max_shards) if max_shards else workers
+    costs = {point: predict(point) for point in unique}
+    mean_load = sum(costs.values()) / workers
+    if mean_load <= 0:
+        return {}
+    from repro.exec.shard import shardable
+
+    plan: Dict[RunPoint, int] = {}
+    for point in unique:
+        if not shardable(point):
+            continue
+        cost = costs[point]
+        if cost <= mean_load:
+            continue
+        # ceil(cost / mean_load), with an epsilon so float noise at an
+        # exact multiple cannot flip the plan between equal inputs.
+        shards = min(cap, int(math.ceil(cost / mean_load - 1e-9)))
+        if shards >= 2:
+            plan[point] = shards
+    return plan
+
+
+def describe_plan(
+    plan: Dict[RunPoint, int],
+    points: Sequence[RunPoint],
+    predict: Callable[[RunPoint], float],
+    workers: int,
+) -> List[Dict[str, object]]:
+    """Replayable record of an auto-shard plan, in spec order."""
+    rows: List[Dict[str, object]] = []
+    for point in dedupe(points):
+        if point not in plan:
+            continue
+        rows.append(
+            {
+                "workload": point.workload_name,
+                "sku": point.sku,
+                "seed": point.seed,
+                "faults": point.faults,
+                "predicted_s": round(predict(point), 6),
+                "shards": plan[point],
+                "workers": workers,
+            }
+        )
+    return rows

@@ -85,6 +85,16 @@ _FIRST_KEYS = frozenset(
 )
 
 
+def shardable(point: RunPoint) -> bool:
+    """Whether auto-sharding may expand this point.
+
+    Only a plain parent point qualifies: an explicit ``shards=N`` is
+    the user's fan-out plan already (and a shard sub-point is internal
+    framing that must never be re-split).
+    """
+    return point.shards == 1 and point.shard_index == -1
+
+
 def expand_shards(point: RunPoint) -> List[RunPoint]:
     """The N shard sub-points of a ``shards=N`` parent point.
 

@@ -278,6 +278,9 @@ class PoolRunStats:
     reused: int = 0
     respawned: int = 0
     bytes_shipped: int = 0
+    #: Points taken by a worker with no affinity to them while some
+    #: busy worker *was* affine — queue-aware stealing beat idling.
+    steals: int = 0
 
     def merge_into(self, other: "PoolRunStats") -> None:
         other.workers = max(other.workers, self.workers)
@@ -285,6 +288,7 @@ class PoolRunStats:
         other.reused += self.reused
         other.respawned += self.respawned
         other.bytes_shipped += self.bytes_shipped
+        other.steals += self.steals
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -293,6 +297,7 @@ class PoolRunStats:
             "reused": self.reused,
             "respawned": self.respawned,
             "bytes_shipped": self.bytes_shipped,
+            "steals": self.steals,
         }
 
 
@@ -461,6 +466,8 @@ class WarmPool:
         on_result: Optional[
             Callable[[str, RunPoint, Dict[str, object]], None]
         ] = None,
+        predict: Optional[Callable[[str, RunPoint], float]] = None,
+        on_timing: Optional[Callable[[str, RunPoint, float], None]] = None,
     ) -> Tuple[
         Dict[str, Dict[str, object]],
         List[Tuple[str, RunPoint]],
@@ -477,6 +484,21 @@ class WarmPool:
         propagate (they would fail in-process too); the pool stays
         coherent afterwards because mid-task workers are respawned
         before the exception leaves this frame.
+
+        ``predict`` (``(fingerprint, point) -> seconds``) switches
+        dispatch to cost-aware mode: ``todo`` is assumed to arrive
+        longest-predicted-first (:func:`repro.exec.schedule.order_lpt`)
+        and the affinity tiers only apply *within a predicted-cost
+        band* of the queue head — a worker may grab an affine point in
+        the band, but never defers the head for something far smaller.
+        When the head is another busy worker's affine point, the idle
+        worker steals it instead of idling (counted in ``steals``).
+        Without ``predict``, dispatch is the historical affinity-first
+        FIFO scan.  Either way results are keyed by fingerprint, so
+        completion order never changes the merged output.
+
+        ``on_timing`` observes ``(fingerprint, point, wall seconds)``
+        per completed point — the feed for the runtime cost ledger.
         """
         run = PoolRunStats()
         completed: Dict[str, Dict[str, object]] = {}
@@ -489,15 +511,20 @@ class WarmPool:
         )
         pending = deque(todo)
         delay = os.environ.get(FAULT_DELAY_ENV, "")
-        # worker -> (task_id, fingerprint, point, deadline)
-        inflight: Dict[_Worker, Tuple[int, str, RunPoint, Optional[float]]] = {}
+        costs: Optional[Dict[str, float]] = (
+            {fp: predict(fp, point) for fp, point in todo}
+            if predict is not None
+            else None
+        )
+        # worker -> (task_id, fingerprint, point, deadline, started)
+        inflight: Dict[
+            _Worker, Tuple[int, str, RunPoint, Optional[float], float]
+        ] = {}
 
-        def take_for(worker: _Worker) -> Tuple[str, RunPoint]:
-            """Pop the next point for ``worker``, preferring (in order)
-            an exact point it has run before — per-seed warm memos, the
-            case that matters for sharded reruns — then any workload it
-            has run before.  Falls back to the queue head — a worker
-            never idles while work is pending."""
+        def take_fifo(worker: _Worker) -> Tuple[str, RunPoint]:
+            """Historical dispatch: affinity-first scan of the whole
+            queue, falling back to the head — a worker never idles
+            while work is pending."""
             for index, (fp, point) in enumerate(pending):
                 if _affinity_key(point) in worker.seen_exact:
                     del pending[index]
@@ -507,6 +534,46 @@ class WarmPool:
                     del pending[index]
                     return fp, point
             return pending.popleft()
+
+        def take_lpt(worker: _Worker) -> Tuple[str, RunPoint]:
+            """Cost-aware dispatch: affinity only within the head's
+            predicted-cost band, stealing over idling past it."""
+            from repro.exec.schedule import AFFINITY_COST_BAND
+
+            head_cost = costs.get(pending[0][0], 0.0)
+            floor = head_cost / AFFINITY_COST_BAND
+            exact_index = None
+            workload_index = None
+            for index, (fp, point) in enumerate(pending):
+                if costs.get(fp, 0.0) < floor:
+                    # Too small to justify deferring the head: taking
+                    # it first would forfeit the LPT makespan bound.
+                    continue
+                if _affinity_key(point) in worker.seen_exact:
+                    exact_index = index
+                    break
+                if (
+                    workload_index is None
+                    and point.workload_name in worker.seen
+                ):
+                    workload_index = index
+            index = exact_index if exact_index is not None else workload_index
+            if index is not None:
+                fp, point = pending[index]
+                del pending[index]
+                return fp, point
+            # No affine work in the band.  Take the head even when it
+            # is another (busy) worker's affine point: the thief pays
+            # that workload's warm-setup once, the sweep keeps all its
+            # workers busy — stealing beats idling.
+            fp, point = pending.popleft()
+            if point.workload_name not in worker.seen and any(
+                point.workload_name in other.seen for other in inflight
+            ):
+                run.steals += 1
+            return fp, point
+
+        take_for = take_fifo if costs is None else take_lpt
 
         def dispatch(worker: _Worker) -> None:
             while pending:
@@ -521,10 +588,9 @@ class WarmPool:
                     continue
                 worker.seen.add(point.workload_name)
                 worker.seen_exact.add(_affinity_key(point))
-                deadline = (
-                    time.monotonic() + timeout_s if timeout_s is not None else None
-                )
-                inflight[worker] = (task_id, fp, point, deadline)
+                now = time.monotonic()
+                deadline = now + timeout_s if timeout_s is not None else None
+                inflight[worker] = (task_id, fp, point, deadline, now)
                 return
 
         for worker in pool_workers:
@@ -552,7 +618,7 @@ class WarmPool:
                         if entry[3] is not None and entry[3] <= now
                     ]
                     for worker in stragglers:
-                        _, fp, point, _ = inflight.pop(worker)
+                        _, fp, point, _, _ = inflight.pop(worker)
                         timeouts += 1
                         lost.append((fp, point))
                         dispatch(self._respawn(worker, run))
@@ -560,7 +626,7 @@ class WarmPool:
                 by_conn = {w.conn: w for w in inflight}
                 for conn in ready:
                     worker = by_conn[conn]
-                    task_id, fp, point, _ = inflight[worker]
+                    task_id, fp, point, _, started_at = inflight[worker]
                     try:
                         message = conn.recv()
                     except (EOFError, OSError):
@@ -587,6 +653,10 @@ class WarmPool:
                     inflight.pop(worker)
                     payload = dict_from_bytes(data)
                     completed[fp] = payload
+                    if on_timing is not None:
+                        on_timing(
+                            fp, point, time.monotonic() - started_at
+                        )
                     if on_result is not None:
                         on_result(fp, point, payload)
                     dispatch(worker)

@@ -297,8 +297,9 @@ class TestTimeoutKillsStraggler:
 
         original = SweepExecutor._run_warm
 
-        def warm_then_clear_delay(self, todo, workers, stats, on_point):
-            result = original(self, todo, workers, stats, on_point)
+        def warm_then_clear_delay(self, todo, workers, stats, on_point,
+                                  **kwargs):
+            result = original(self, todo, workers, stats, on_point, **kwargs)
             os.environ.pop("DCPERF_FAULT_POINT_DELAY", None)
             return result
 
