@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test verify bench bench-workloads bench-sweep bench-storage bench-shard bench-schedule profile report clean-cache
+.PHONY: test verify bench bench-workloads bench-sweep bench-storage bench-llm bench-shard bench-schedule profile report clean-cache
 
 # Fast path: just the unit suite.
 test:
@@ -18,6 +18,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) tools/bench_engine.py --quick
 	PYTHONPATH=src $(PYTHON) tools/bench_workloads.py --smoke
 	PYTHONPATH=src $(PYTHON) tools/bench_storage.py --smoke
+	PYTHONPATH=src $(PYTHON) tools/bench_llm.py --smoke
 
 # Full end-to-end workload wall-clock bench (writes BENCH_workloads.json).
 bench-workloads:
@@ -30,6 +31,11 @@ bench-sweep:
 # Storage-subsystem microbenchmarks (writes BENCH_storage.json).
 bench-storage:
 	PYTHONPATH=src $(PYTHON) tools/bench_storage.py
+
+# LLM token-serving microbenchmarks: tokens/s and TTFT across the
+# catalog mixes (writes BENCH_llm.json).
+bench-llm:
+	PYTHONPATH=src $(PYTHON) tools/bench_llm.py
 
 # Intra-run shard scaling curve (writes BENCH_shard.json).
 bench-shard:

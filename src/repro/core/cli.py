@@ -3,8 +3,10 @@
 Usage examples::
 
     dcperf list
+    dcperf workloads list
     dcperf install -b taobench
     dcperf run -b taobench --sku SKU2 --kernel 6.9 --json out.json
+    dcperf run -b llmbench --catalog chat
     dcperf suite --sku SKU4
     dcperf suite --skus SKU1,SKU2,SKU3,SKU4 --parallel 4
     dcperf cache info
@@ -27,8 +29,14 @@ from repro.core.suite import DCPerfSuite
 from repro.exec.cache import RunCache, cache_from_env
 from repro.exec.executor import SweepExecutor
 from repro.hw.sku import list_skus
+from repro.llm.catalog import mix_names as llm_mix_names
 from repro.workloads.base import RunConfig
-from repro.workloads.registry import dcperf_benchmarks, extension_benchmarks
+from repro.workloads.registry import (
+    dcperf_benchmarks,
+    extension_benchmarks,
+    llm_serving_benchmarks,
+    workload_names,
+)
 from repro.workloads.scenarios import (
     FAULT_SCENARIOS,
     apply_fault_scenario,
@@ -87,10 +95,33 @@ def _cmd_install(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    scored = set(dcperf_benchmarks()) | set(llm_serving_benchmarks())
+    rows = []
+    for name in workload_names():
+        bench = Benchmark.by_name(name)
+        desc = bench.workload.describe()
+        rows.append(
+            [
+                name,
+                desc["category"],
+                "scored" if name in scored else "unscored",
+                desc["metric"],
+            ]
+        )
+    print(format_table(["workload", "category", "suite", "metric"], rows))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
+    if args.catalog:
+        if args.benchmark.split("-")[0] != "llmbench":
+            print("--catalog only applies to llmbench", file=sys.stderr)
+            return 2
+        args.benchmark = f"llmbench-{args.catalog}"
     if args.shards > 1:
         # Sharded runs execute through the sweep machinery: the point
         # expands into shard sub-points (run on the warm pool, one
@@ -364,6 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one benchmark")
     p_run.add_argument("-b", "--benchmark", required=True)
+    p_run.add_argument(
+        "--catalog",
+        choices=llm_mix_names(),
+        help="llmbench only: run this serving mix from the scenario "
+        "catalog (shorthand for -b llmbench-<mix>)",
+    )
     p_run.add_argument("--sku", default="SKU2")
     p_run.add_argument("--kernel", default="6.9", choices=["6.4", "6.9"])
     p_run.add_argument("--seed", type=int, default=7)
@@ -489,6 +526,16 @@ def build_parser() -> argparse.ArgumentParser:
         "full clear removes it along with the cached runs)",
     )
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_workloads = sub.add_parser(
+        "workloads", help="inspect every registered workload"
+    )
+    p_workloads.add_argument(
+        "workloads_command",
+        choices=["list"],
+        help="what to do",
+    )
+    p_workloads.set_defaults(func=_cmd_workloads)
 
     p_faults = sub.add_parser(
         "faults", help="inspect the named fault scenarios"

@@ -283,7 +283,7 @@ class SloControlHook(Hook):
             return {"enabled": False}
         offered = extra.get("slo_offered", 0.0)
         shed = extra.get("slo_shed", 0.0)
-        return {
+        section: Dict[str, object] = {
             "enabled": True,
             "scenario": ctx.config.fault_scenario or "custom",
             "windows": extra.get("slo_windows", 0.0),
@@ -313,6 +313,64 @@ class SloControlHook(Hook):
             "stall_seconds": extra.get("slo_stall_seconds", 0.0),
             "window_fields": list(WindowSnapshot.ROW_FIELDS),
             "window_series": extra.get("slo_window_series", []),
+        }
+        # Token-level SLO signals (llmbench): TTFT and inter-token
+        # percentiles join the SLO section when the workload reports
+        # them, so serving runs are judged at token granularity too.
+        if "slo_ttft_p99_s" in extra:
+            section["ttft_p50_ms"] = extra.get("slo_ttft_p50_s", 0.0) * 1000.0
+            section["ttft_p99_ms"] = extra.get("slo_ttft_p99_s", 0.0) * 1000.0
+            section["itl_p99_ms"] = extra.get("slo_itl_p99_s", 0.0) * 1000.0
+        return section
+
+
+class LlmServingHook(Hook):
+    """Token-serving engine accounting (llmbench).
+
+    Reads the ``llm_*`` counters the llmbench family attaches to
+    ``result.extra``: token throughput, TTFT/inter-token percentiles,
+    KV-cache residency and preemption pressure, prefix-cache hit rate,
+    and continuous-batching queue depths.  Non-serving workloads report
+    ``{"enabled": False}`` so every report keeps the same shape.
+    """
+
+    name = "llm_serving"
+
+    def after_run(self, ctx: RunContext, result: WorkloadResult) -> Dict[str, object]:
+        extra = result.extra
+        if "llm_decoded_tokens" not in extra:
+            return {"enabled": False}
+        budget = extra.get("llm_kv_budget_bytes", 0.0)
+        peak = extra.get("llm_kv_peak_bytes", 0.0)
+        prefill = extra.get("llm_prefill_tokens", 0.0)
+        cached = extra.get("llm_cached_prefix_tokens", 0.0)
+        return {
+            "enabled": True,
+            "replicas": extra.get("llm_replicas", 0.0),
+            "batch_slots": extra.get("llm_batch_slots", 0.0),
+            "sessions_started": extra.get("llm_sessions_started", 0.0),
+            "turns_submitted": extra.get("llm_turns_submitted", 0.0),
+            "turns_completed": extra.get("llm_turns_completed", 0.0),
+            "engine_steps": extra.get("llm_engine_steps", 0.0),
+            "tokens_per_second": extra.get("llm_tokens_per_second", 0.0),
+            "prefill_tokens": prefill,
+            "decoded_tokens": extra.get("llm_decoded_tokens", 0.0),
+            "prefix_hit_rate": extra.get("llm_prefix_hit_rate", 0.0),
+            "prefill_cached_fraction": cached / prefill if prefill else 0.0,
+            "ttft_p50_ms": extra.get("llm_ttft_p50_s", 0.0) * 1000.0,
+            "ttft_p99_ms": extra.get("llm_ttft_p99_s", 0.0) * 1000.0,
+            "itl_p50_ms": extra.get("llm_itl_p50_s", 0.0) * 1000.0,
+            "itl_p99_ms": extra.get("llm_itl_p99_s", 0.0) * 1000.0,
+            "kv_budget_gb": budget / 1e9,
+            "kv_peak_gb": peak / 1e9,
+            "kv_peak_util_pct": peak / budget * 100.0 if budget else 0.0,
+            "kv_overflow_tokens": extra.get("llm_kv_overflow_tokens", 0.0),
+            "preemptions": extra.get("llm_kv_preemptions", 0.0),
+            "admission_blocked_steps": extra.get(
+                "llm_kv_admission_blocked", 0.0
+            ),
+            "queue_depth_peak": extra.get("llm_queue_depth_peak", 0.0),
+            "queue_depth_end": extra.get("llm_queue_depth_end", 0.0),
         }
 
 
@@ -461,6 +519,7 @@ def default_hooks() -> HookRegistry:
             TimelineHook(),
             ResilienceHook(),
             SloControlHook(),
+            LlmServingHook(),
             IoStatHook(),
             ShardHook(),
         ]

@@ -26,19 +26,23 @@ from repro.core.scoring import BASELINE_SKU, ScoreBoard
 from repro.exec.cache import RunCache
 from repro.exec.executor import OnPoint, SweepExecutor
 from repro.exec.spec import RunPoint, run_fingerprint
-from repro.workloads.registry import dcperf_benchmarks
+from repro.workloads.registry import dcperf_benchmarks, llm_serving_benchmarks
 
 #: Fleet power weights per workload category (web dominates Meta's
 #: general-purpose fleet; Section 3.2 says the modeled categories are
-#: the top power consumers).
+#: the top power consumers).  The llmbench serving mixes carry the
+#: fleet's fastest-growing power share (the paper's §8 future-work
+#: category), carved out of the established categories pro rata.
 FLEET_POWER_WEIGHTS: Dict[str, float] = {
-    "mediawiki": 0.28,
-    "djangobench": 0.19,
-    "feedsim": 0.19,
-    "taobench": 0.14,
-    "sparkbench": 0.10,
+    "mediawiki": 0.25,
+    "djangobench": 0.17,
+    "feedsim": 0.17,
+    "taobench": 0.13,
+    "sparkbench": 0.09,
     "videotranscode": 0.05,
     "storagebench": 0.05,
+    "llmbench-chat": 0.05,
+    "llmbench-codegen": 0.04,
 }
 
 
@@ -79,7 +83,14 @@ class DCPerfSuite:
         faults: str = "",
         early_stop: bool = False,
     ) -> None:
-        self.benchmark_names = benchmark_names or dcperf_benchmarks()
+        if benchmark_names:
+            self.benchmark_names = benchmark_names
+        elif variant == ":prod":
+            # The llmbench mixes have no production twin; prod suites
+            # score the published categories only.
+            self.benchmark_names = dcperf_benchmarks()
+        else:
+            self.benchmark_names = dcperf_benchmarks() + llm_serving_benchmarks()
         #: '' for the DCPerf benchmarks, ':prod' for production twins.
         self.variant = variant
         self.scoreboard = ScoreBoard(baseline_sku)

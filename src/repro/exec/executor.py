@@ -39,6 +39,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import (
@@ -116,8 +117,12 @@ def auto_workers() -> int:
     try:
         cpus = len(os.sched_getaffinity(0))
     except (AttributeError, OSError):
+        # macOS/Windows have no sched_getaffinity; the host count is
+        # the best available answer there.
         cpus = os.cpu_count() or 1
-    quota = _cgroup_cpu_quota()
+    # cgroup v2 is a Linux construct; never probe the pseudo-file
+    # elsewhere (a same-named path on another OS would be noise).
+    quota = _cgroup_cpu_quota() if sys.platform.startswith("linux") else None
     if quota is not None:
         cpus = min(cpus, quota)
     return max(1, min(cpus, 16))

@@ -67,11 +67,27 @@ _MEAN_KEYS = frozenset(
         "slo_p95_seconds",
         "slo_p99_seconds",
         "validation_mean_ctr",
+        "llm_prefix_hit_rate",
+        "llm_ttft_p50_s",
+        "llm_ttft_p99_s",
+        "llm_itl_p50_s",
+        "llm_itl_p99_s",
+        "slo_ttft_p50_s",
+        "slo_ttft_p99_s",
+        "slo_itl_p99_s",
     }
 )
 
 #: Extras where the fleet value is the worst shard's value.
-_MAX_KEYS = frozenset({"slo_max_drop_probability", "io_stall_p99_s"})
+_MAX_KEYS = frozenset(
+    {
+        "slo_max_drop_probability",
+        "io_stall_p99_s",
+        "llm_kv_peak_tokens",
+        "llm_kv_peak_bytes",
+        "llm_queue_depth_peak",
+    }
+)
 
 #: Extras that are run *parameters* (identical across shards by
 #: construction): take the first shard's value.
@@ -81,6 +97,10 @@ _FIRST_KEYS = frozenset(
         "slo_latency_s",
         "slo_window_completions",
         "validation_batch",
+        "llm_replicas",
+        "llm_batch_slots",
+        "llm_kv_budget_bytes",
+        "llm_kv_bytes_per_token",
     }
 )
 

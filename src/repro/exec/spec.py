@@ -38,7 +38,11 @@ from repro.workloads.base import RunConfig
 #: every report grew the ``sharding`` hook section and a ``shards``
 #: system field, and cache entries record the schema version they were
 #: written under; every report's shape changed.
-CACHE_SCHEMA_VERSION = 6
+#: 7: LLM token serving — the llmbench family joined the suite, every
+#: report grew the ``llm_serving`` hook section, and the SLO section
+#: grew token-level TTFT/inter-token percentiles; every report's shape
+#: changed.
+CACHE_SCHEMA_VERSION = 7
 
 
 def shard_seed(seed: int, index: int) -> int:

@@ -1,0 +1,22 @@
+"""LLM token-serving models: session catalog, generators, and the
+continuous-batching engine (see :mod:`repro.workloads.llmbench` for the
+benchmark built on top of them)."""
+
+from repro.llm.catalog import CATALOG, LlmMix, get_mix, mix_names
+from repro.llm.engine import EngineParams, EngineStats, KvLedger, LlmReplica, Sequence
+from repro.llm.sessions import SessionGenerator, SessionPlan, Turn
+
+__all__ = [
+    "CATALOG",
+    "LlmMix",
+    "get_mix",
+    "mix_names",
+    "EngineParams",
+    "EngineStats",
+    "KvLedger",
+    "LlmReplica",
+    "Sequence",
+    "SessionGenerator",
+    "SessionPlan",
+    "Turn",
+]

@@ -1,0 +1,189 @@
+"""The llmbench scenario catalog: named token-serving mixes.
+
+Each mix is a small, frozen parameterisation of the session model —
+length distributions, turn structure, and prefix sharing — in the style
+of dwarf-based scalable benchmarking: a handful of workload "units"
+whose composition covers the representative shapes of production LLM
+serving.  Lengths are lognormal (mean, cv) pairs drawn through the
+memoized :func:`repro.sim.rng.lognormal_sampler`, matching how every
+other workload model in the repo parameterises heavy-tailed sizes.
+
+The four mixes:
+
+* ``chat`` — interactive assistant traffic: medium prompts, short
+  replies, several turns per session, heavy system-prompt sharing.
+* ``codegen`` — IDE completion/refactor traffic: long prompts (file
+  context), medium replies, a couple of turns, shared repo preambles.
+* ``rag_summarize`` — retrieval-augmented summarisation: very long
+  stuffed-context prompts, short replies, mostly single-turn.
+* ``long_reasoning`` — chain-of-thought heavy traffic: modest prompts
+  but very long generations, which is what fills the KV-cache ledger
+  and forces the engine's evict/queue behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class LlmMix:
+    """One named serving mix: session shape + sharing structure.
+
+    ``turn_continue_prob`` is the per-turn probability a session keeps
+    going after ``min_turns``, capped at ``max_turns`` (a truncated
+    geometric — short sessions common, long tails bounded).
+    ``prefix_share`` is the fraction of sessions that carry one of
+    ``prefix_groups`` shared prefixes (system prompts, repo preambles)
+    at the head of every turn's prompt, which is what gives the
+    engine's prefix cache something to hit.
+    """
+
+    name: str
+    description: str
+    prompt_tokens_mean: float
+    prompt_tokens_cv: float
+    output_tokens_mean: float
+    output_tokens_cv: float
+    min_turns: int
+    max_turns: int
+    turn_continue_prob: float
+    think_time_mean_s: float
+    prefix_share: float
+    prefix_groups: int
+    prefix_tokens_mean: float
+    prefix_tokens_cv: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("mix name must be non-empty")
+        for field_name in (
+            "prompt_tokens_mean",
+            "prompt_tokens_cv",
+            "output_tokens_mean",
+            "output_tokens_cv",
+            "prefix_tokens_mean",
+            "prefix_tokens_cv",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be positive")
+        if not 1 <= self.min_turns <= self.max_turns:
+            raise ValueError(f"{self.name}: need 1 <= min_turns <= max_turns")
+        if not 0.0 <= self.turn_continue_prob < 1.0:
+            raise ValueError(f"{self.name}: turn_continue_prob must be in [0, 1)")
+        if self.think_time_mean_s < 0:
+            raise ValueError(f"{self.name}: think_time_mean_s must be >= 0")
+        if not 0.0 <= self.prefix_share <= 1.0:
+            raise ValueError(f"{self.name}: prefix_share must be in [0, 1]")
+        if self.prefix_groups < 1:
+            raise ValueError(f"{self.name}: prefix_groups must be >= 1")
+
+    @property
+    def expected_turns(self) -> float:
+        """Mean turns per session under the truncated geometric."""
+        expected = float(self.min_turns)
+        survival = 1.0
+        for _ in range(self.max_turns - self.min_turns):
+            survival *= self.turn_continue_prob
+            expected += survival
+        return expected
+
+
+CATALOG: Dict[str, LlmMix] = {
+    mix.name: mix
+    for mix in (
+        LlmMix(
+            name="chat",
+            description=(
+                "Interactive assistant: medium prompts, short replies, "
+                "multi-turn sessions, shared system prompts."
+            ),
+            prompt_tokens_mean=512.0,
+            prompt_tokens_cv=1.0,
+            output_tokens_mean=192.0,
+            output_tokens_cv=0.9,
+            min_turns=1,
+            max_turns=6,
+            turn_continue_prob=0.55,
+            think_time_mean_s=0.04,
+            prefix_share=0.7,
+            prefix_groups=8,
+            prefix_tokens_mean=256.0,
+            prefix_tokens_cv=0.3,
+        ),
+        LlmMix(
+            name="codegen",
+            description=(
+                "IDE completion and refactoring: long file-context "
+                "prompts, medium replies, shared repo preambles."
+            ),
+            prompt_tokens_mean=1536.0,
+            prompt_tokens_cv=0.8,
+            output_tokens_mean=384.0,
+            output_tokens_cv=1.1,
+            min_turns=1,
+            max_turns=4,
+            turn_continue_prob=0.45,
+            think_time_mean_s=0.02,
+            prefix_share=0.5,
+            prefix_groups=4,
+            prefix_tokens_mean=512.0,
+            prefix_tokens_cv=0.25,
+        ),
+        LlmMix(
+            name="rag_summarize",
+            description=(
+                "Retrieval-augmented summarisation: very long stuffed "
+                "contexts, short replies, mostly single-turn."
+            ),
+            prompt_tokens_mean=3072.0,
+            prompt_tokens_cv=0.5,
+            output_tokens_mean=256.0,
+            output_tokens_cv=0.6,
+            min_turns=1,
+            max_turns=2,
+            turn_continue_prob=0.2,
+            think_time_mean_s=0.0,
+            prefix_share=0.35,
+            prefix_groups=6,
+            prefix_tokens_mean=768.0,
+            prefix_tokens_cv=0.2,
+        ),
+        LlmMix(
+            name="long_reasoning",
+            description=(
+                "Chain-of-thought heavy traffic: modest prompts, very "
+                "long generations that pressure the KV-cache budget."
+            ),
+            prompt_tokens_mean=768.0,
+            prompt_tokens_cv=0.7,
+            output_tokens_mean=1536.0,
+            output_tokens_cv=0.8,
+            min_turns=1,
+            max_turns=3,
+            turn_continue_prob=0.35,
+            think_time_mean_s=0.0,
+            prefix_share=0.6,
+            prefix_groups=4,
+            prefix_tokens_mean=384.0,
+            prefix_tokens_cv=0.3,
+        ),
+    )
+}
+
+
+def mix_names() -> Tuple[str, ...]:
+    """Registered mix names, sorted for stable CLI help and digests."""
+    return tuple(sorted(CATALOG))
+
+
+def get_mix(name: str) -> LlmMix:
+    """Look up a mix by name, with a helpful error."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(mix_names())
+        raise KeyError(
+            f"unknown llm mix {name!r}; known mixes: {known}"
+        ) from None

@@ -1,0 +1,179 @@
+"""Deterministic multi-turn session generation for llmbench.
+
+Every session draws all of its randomness — prefix-group membership,
+turn count, per-turn prompt/output lengths, think times — from its own
+derived RNG stream, seeded by ``(master seed, session id)`` exactly the
+way :class:`repro.sim.rng.RngStreams` derives named streams.  Two
+consequences the tests pin:
+
+* **Draw-order determinism**: a session's plan depends only on the
+  master seed and its id, never on how many other sessions were planned
+  before it or in what batch sizes the caller asked for plans.
+* **Seed-split independence**: concurrent sessions consume disjoint
+  streams, so changing one session's parameters never perturbs
+  another's draws.
+
+Shared-prefix lengths are drawn once per prefix group from the group's
+own stream and memoized, so every member of a group agrees on the
+prefix length regardless of which member touched it first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.llm.catalog import LlmMix
+from repro.sim.rng import LognormalSampler, RngStreams, lognormal_sampler
+
+#: Length clamps: keep pathological lognormal tails inside the range a
+#: real serving stack would accept.
+MIN_PROMPT_TOKENS = 8
+MAX_PROMPT_TOKENS = 16_384
+MIN_OUTPUT_TOKENS = 4
+MAX_OUTPUT_TOKENS = 8_192
+
+
+@dataclass(frozen=True)
+class Turn:
+    """One request/response exchange inside a session."""
+
+    prompt_tokens: int
+    output_tokens: int
+    #: Shared-prefix tokens at the head of the prompt (0 = unique
+    #: prompt; the engine's prefix cache can discount these).
+    prefix_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 1 or self.output_tokens < 1:
+            raise ValueError("turns need at least one prompt and output token")
+        if not 0 <= self.prefix_tokens < self.prompt_tokens:
+            raise ValueError("prefix_tokens must be in [0, prompt_tokens)")
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """A fully materialised session: every draw made up front."""
+
+    session_id: int
+    #: Shared-prefix group this session belongs to (-1 = unique).
+    prefix_group: int
+    turns: Tuple[Turn, ...]
+    #: Pause before each turn (index 0 is always 0.0 — the session's
+    #: first turn fires at its arrival).
+    think_times_s: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.turns:
+            raise ValueError("a session needs at least one turn")
+        if len(self.think_times_s) != len(self.turns):
+            raise ValueError("one think time per turn")
+
+    @property
+    def total_prompt_tokens(self) -> int:
+        return sum(turn.prompt_tokens for turn in self.turns)
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(turn.output_tokens for turn in self.turns)
+
+
+class SessionGenerator:
+    """Derives :class:`SessionPlan` objects from a mix and a seed space.
+
+    ``streams`` is the workload's :class:`RngStreams` factory (already
+    spawned per workload name by the harness); the generator spawns its
+    own child space so session draws can never collide with arrival or
+    fault streams.
+    """
+
+    def __init__(self, mix: LlmMix, streams: RngStreams) -> None:
+        self.mix = mix
+        self._seed = streams.spawn("llm-sessions").seed
+        self._prompt: LognormalSampler = lognormal_sampler(
+            mix.prompt_tokens_mean, mix.prompt_tokens_cv
+        )
+        self._output: LognormalSampler = lognormal_sampler(
+            mix.output_tokens_mean, mix.output_tokens_cv
+        )
+        self._prefix: LognormalSampler = lognormal_sampler(
+            mix.prefix_tokens_mean, mix.prefix_tokens_cv
+        )
+        self._prefix_tokens: Dict[int, int] = {}
+
+    def _derive(self, name: str) -> random.Random:
+        """A fresh stream for ``name`` — same derivation as
+        :meth:`RngStreams.stream`, but unmemoized: session streams are
+        consumed exactly once, so caching thousands of them would only
+        cost memory."""
+        digest = hashlib.sha256(f"{self._seed}:{name}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def prefix_tokens(self, group: int) -> int:
+        """Shared-prefix length for a group (memoized, order-free)."""
+        tokens = self._prefix_tokens.get(group)
+        if tokens is None:
+            rng = self._derive(f"prefix:{group}")
+            tokens = int(
+                max(
+                    MIN_PROMPT_TOKENS,
+                    min(MAX_PROMPT_TOKENS // 2, self._prefix.sample(rng)),
+                )
+            )
+            self._prefix_tokens[group] = tokens
+        return tokens
+
+    def plan(self, session_id: int) -> SessionPlan:
+        """Materialise session ``session_id``.
+
+        Draw order within the session stream is fixed and documented:
+        (1) prefix-group membership, (2) turn count, then per turn
+        (3) prompt length, (4) output length, (5) think time.
+        """
+        mix = self.mix
+        rng = self._derive(f"session:{session_id}")
+
+        group = -1
+        if rng.random() < mix.prefix_share:
+            group = rng.randrange(mix.prefix_groups)
+
+        turns = mix.min_turns
+        while turns < mix.max_turns and rng.random() < mix.turn_continue_prob:
+            turns += 1
+
+        prefix_len = self.prefix_tokens(group) if group >= 0 else 0
+        turn_list = []
+        think_list = []
+        for index in range(turns):
+            prompt = int(
+                max(
+                    MIN_PROMPT_TOKENS,
+                    min(MAX_PROMPT_TOKENS, self._prompt.sample(rng)),
+                )
+            )
+            output = int(
+                max(
+                    MIN_OUTPUT_TOKENS,
+                    min(MAX_OUTPUT_TOKENS, self._output.sample(rng)),
+                )
+            )
+            if index == 0 or mix.think_time_mean_s <= 0:
+                think = 0.0
+            else:
+                think = rng.expovariate(1.0 / mix.think_time_mean_s)
+            turn_list.append(
+                Turn(
+                    prompt_tokens=prompt,
+                    output_tokens=output,
+                    prefix_tokens=min(prefix_len, prompt - 1),
+                )
+            )
+            think_list.append(think)
+        return SessionPlan(
+            session_id=session_id,
+            prefix_group=group,
+            turns=tuple(turn_list),
+            think_times_s=tuple(think_list),
+        )

@@ -167,6 +167,20 @@ _STRUCTURES: Dict[str, StructuralParams] = {
         network_bytes_per_request=2_000,
         tax_shares=FIG12_TAX_PROFILES["storagebench"],
     ),
+    # One "request" is one serving turn (mean prefill + decode of the
+    # chat mix); a compact inference loop pinned to its cores — almost
+    # no context switches, streaming access patterns with low reuse.
+    "llmbench": StructuralParams(
+        instructions_per_request=11_000_000,
+        thread_core_ratio=2,
+        rpc_fanout=1,
+        switches_per_kinstr=0.04,
+        mem_refs_per_kinstr=420,
+        locality_beta=0.40,
+        memory_level_parallelism=20.0,
+        network_bytes_per_request=20_000,
+        tax_shares=FIG12_TAX_PROFILES["llmbench"],
+    ),
     "storage-prod": StructuralParams(
         instructions_per_request=66_000,
         thread_core_ratio=10,

@@ -59,6 +59,15 @@ def _aibench() -> Workload:
     return AiBench()
 
 
+def _llmbench(mix: str, name: str) -> Callable[[], Workload]:
+    def factory() -> Workload:
+        from repro.workloads.llmbench import LlmBench
+
+        return LlmBench(mix, name=name)
+
+    return factory
+
+
 _FACTORIES: Dict[str, Callable[[], Workload]] = {
     "taobench": _taobench,
     "feedsim": _feedsim,
@@ -68,6 +77,17 @@ _FACTORIES: Dict[str, Callable[[], Workload]] = {
     "videotranscode": _videotranscode,
     "storagebench": _storagebench,
     "aibench": _aibench,
+    # The llmbench family: one entry per catalog mix, plus a bare
+    # "llmbench" alias for the flagship chat mix.
+    "llmbench": _llmbench("chat", "llmbench"),
+    "llmbench-chat": _llmbench("chat", "llmbench-chat"),
+    "llmbench-codegen": _llmbench("codegen", "llmbench-codegen"),
+    "llmbench-rag_summarize": _llmbench(
+        "rag_summarize", "llmbench-rag_summarize"
+    ),
+    "llmbench-long_reasoning": _llmbench(
+        "long_reasoning", "llmbench-long_reasoning"
+    ),
 }
 
 
@@ -94,6 +114,11 @@ def _production_variant(base: str) -> Workload:
     return production_workload(base)
 
 
+def workload_names() -> List[str]:
+    """Every registered workload name, sorted."""
+    return sorted(_FACTORIES)
+
+
 def dcperf_benchmarks() -> List[str]:
     """Names of the benchmarks in the DCPerf suite, in Table 1 order.
 
@@ -117,10 +142,29 @@ def production_counterparts() -> List[str]:
     return [f"{name}:prod" for name in dcperf_benchmarks()]
 
 
+def llm_serving_benchmarks() -> List[str]:
+    """The scored llmbench suite entries.
+
+    ``chat`` and ``codegen`` are the two production-representative
+    serving mixes scored into the default suite; ``rag_summarize`` and
+    ``long_reasoning`` stay unscored probes (run them by name).
+    """
+    return ["llmbench-chat", "llmbench-codegen"]
+
+
 def extension_benchmarks() -> List[str]:
     """Benchmarks beyond the paper's published six.
 
     ``aibench`` implements the paper's stated future work (Section 8:
     AI-related workloads); it is not part of the scored default suite.
+    The ``llmbench`` family (token serving over continuous batching)
+    extends the same future-work category — its ``chat``/``codegen``
+    mixes are scored via :func:`llm_serving_benchmarks`, and the other
+    catalog mixes run unscored.
     """
-    return ["aibench"]
+    return [
+        "aibench",
+        "llmbench",
+        "llmbench-rag_summarize",
+        "llmbench-long_reasoning",
+    ]

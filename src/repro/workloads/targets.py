@@ -119,6 +119,14 @@ BENCHMARK_TARGETS: Dict[str, FidelityTargets] = {
         "storagebench", "storage", fe=30, bs=6, be=35, l1i=30, membw=25,
         util=75, sys=20, freq=2.00, ipc=1.0, platform_activity=0.05,
     ),
+    # LlmBench models CPU-hosted LLM token serving: a compact inference
+    # loop (tiny code footprint, few context switches) that streams
+    # weights and KV cache every decode step — backend/memory-bandwidth
+    # bound with heavy vector issue holding clocks down.
+    "llmbench": _targets(
+        "llmbench", "ai-inference", fe=12, bs=4, be=48, l1i=5, membw=48,
+        util=72, sys=8, freq=1.85, ipc=1.3, platform_activity=0.05,
+    ),
 }
 
 # --- SPEC CPU 2017 (int rate subset the paper uses) --------------------------
@@ -404,6 +412,11 @@ FIG12_TAX_PROFILES: Dict[str, Dict[str, float]] = {
         "serialization": 0.04, "rpc": 0.10, "memory": 0.08,
         "threadmanager": 0.06, "hashing": 0.05, "benchmark_clients": 0.05,
         "others": 0.06,
+    },
+    "llmbench": {
+        "app:attention": 0.30, "app:mlp": 0.22, "app:sampling": 0.06,
+        "kvcache": 0.14, "rpc": 0.08, "serialization": 0.06,
+        "memory": 0.08, "threadmanager": 0.03, "others": 0.03,
     },
 }
 

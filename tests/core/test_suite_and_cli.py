@@ -40,6 +40,32 @@ class TestSuite:
     def test_fleet_weights_sum_to_one(self):
         assert sum(FLEET_POWER_WEIGHTS.values()) == pytest.approx(1.0)
 
+    def test_default_suite_scores_llm_mixes(self):
+        from repro.workloads.registry import (
+            dcperf_benchmarks,
+            llm_serving_benchmarks,
+        )
+
+        suite = DCPerfSuite()
+        assert suite.benchmark_names == (
+            dcperf_benchmarks() + llm_serving_benchmarks()
+        )
+        assert "llmbench-chat" in suite.benchmark_names
+        assert "llmbench-codegen" in suite.benchmark_names
+
+    def test_prod_suite_skips_llm_mixes(self):
+        from repro.workloads.registry import dcperf_benchmarks
+
+        suite = DCPerfSuite(variant=":prod")
+        assert suite.benchmark_names == dcperf_benchmarks()
+
+    def test_llm_mix_scores_against_baseline(self):
+        suite = DCPerfSuite(
+            benchmark_names=["llmbench-chat"], measure_seconds=0.5
+        )
+        report = suite.run("SKU2")
+        assert report.scores["llmbench-chat"] > 0
+
     def test_report_serializable(self, small_suite):
         report = small_suite.run("SKU1")
         payload = report.as_dict()
@@ -95,6 +121,36 @@ class TestCli:
 
     def test_run_rejects_bad_shards(self, capsys):
         assert main(["run", "-b", "taobench", "--shards", "0"]) == 2
+
+    def test_workloads_list(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "llmbench-chat" in out
+        assert "llmbench-long_reasoning" in out
+        assert "scored" in out and "unscored" in out
+        # Every scored suite entry is labeled as such.
+        for line in out.splitlines():
+            if line.startswith("llmbench-chat ") or line.startswith(
+                "taobench "
+            ):
+                assert " scored" in line
+            if line.startswith("aibench ") or line.startswith(
+                "llmbench-rag"
+            ):
+                assert "unscored" in line
+
+    def test_run_catalog_shorthand(self, capsys):
+        code = main([
+            "run", "-b", "llmbench", "--catalog", "codegen",
+            "--measure-seconds", "0.5",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "llmbench-codegen"
+        assert payload["hooks"]["llm_serving"]["enabled"]
+
+    def test_run_catalog_rejects_non_llm_benchmark(self, capsys):
+        assert main(["run", "-b", "taobench", "--catalog", "chat"]) == 2
 
     def test_cache_info_reports_schema_counts(self, tmp_path, capsys):
         from repro.exec.cache import RunCache

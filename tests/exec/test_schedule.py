@@ -379,6 +379,40 @@ class TestAutoWorkersLimits:
         )
         assert auto_workers() == 1
 
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        # macOS/Windows: os.sched_getaffinity does not exist at all.
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        monkeypatch.setattr(
+            "repro.exec.executor._cgroup_cpu_quota", lambda: None
+        )
+        assert auto_workers() == 6
+
+    def test_cpu_count_none_means_one_worker(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        monkeypatch.setattr(
+            "repro.exec.executor._cgroup_cpu_quota", lambda: None
+        )
+        assert auto_workers() == 1
+
+    def test_quota_probe_is_linux_only(self, monkeypatch):
+        # On a non-Linux platform the cgroup pseudo-file is never
+        # consulted, even if a same-named path would parse.
+        import repro.exec.executor as executor_mod
+
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(executor_mod.sys, "platform", "darwin")
+
+        def boom():
+            raise AssertionError("cgroup probe ran on a non-Linux platform")
+
+        monkeypatch.setattr(
+            "repro.exec.executor._cgroup_cpu_quota", boom
+        )
+        assert auto_workers() == 8
+
 
 class TestProgressEta:
     def test_cold_ledger_keeps_plain_counts(self):

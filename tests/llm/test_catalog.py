@@ -1,0 +1,80 @@
+"""The scenario catalog: shape validation and lookup semantics."""
+
+import pytest
+
+from repro.llm.catalog import CATALOG, LlmMix, get_mix, mix_names
+
+
+class TestCatalog:
+    def test_expected_mixes_present(self):
+        assert set(CATALOG) == {
+            "chat", "codegen", "rag_summarize", "long_reasoning",
+        }
+
+    def test_mix_names_sorted(self):
+        assert list(mix_names()) == sorted(CATALOG)
+
+    def test_get_mix_roundtrip(self):
+        for name in mix_names():
+            assert get_mix(name).name == name
+
+    def test_get_mix_unknown_is_helpful(self):
+        with pytest.raises(KeyError, match="chat"):
+            get_mix("nope")
+
+    def test_every_mix_is_well_formed(self):
+        for mix in CATALOG.values():
+            assert mix.prompt_tokens_mean > 0
+            assert mix.output_tokens_mean > 0
+            assert 1 <= mix.min_turns <= mix.max_turns
+            assert 0.0 <= mix.turn_continue_prob < 1.0
+            assert 0.0 <= mix.prefix_share <= 1.0
+            assert mix.prefix_groups >= 1
+            assert mix.description
+
+    def test_expected_turns_bounds(self):
+        for mix in CATALOG.values():
+            expected = mix.expected_turns
+            assert mix.min_turns <= expected <= mix.max_turns
+
+    def test_expected_turns_single_turn_mix(self):
+        mix = LlmMix(
+            name="x", description="d",
+            prompt_tokens_mean=10, prompt_tokens_cv=1,
+            output_tokens_mean=10, output_tokens_cv=1,
+            min_turns=1, max_turns=1, turn_continue_prob=0.0,
+            think_time_mean_s=0.0, prefix_share=0.0, prefix_groups=1,
+            prefix_tokens_mean=1, prefix_tokens_cv=1,
+        )
+        assert mix.expected_turns == 1.0
+
+    def test_validation_rejects_bad_shapes(self):
+        base = dict(
+            name="x", description="d",
+            prompt_tokens_mean=10.0, prompt_tokens_cv=1.0,
+            output_tokens_mean=10.0, output_tokens_cv=1.0,
+            min_turns=1, max_turns=2, turn_continue_prob=0.5,
+            think_time_mean_s=0.0, prefix_share=0.5, prefix_groups=2,
+            prefix_tokens_mean=5.0, prefix_tokens_cv=0.5,
+        )
+        for bad in (
+            {"prompt_tokens_mean": 0.0},
+            {"output_tokens_cv": -1.0},
+            {"min_turns": 0},
+            {"min_turns": 3},  # > max_turns
+            {"turn_continue_prob": 1.0},
+            {"think_time_mean_s": -0.1},
+            {"prefix_share": 1.5},
+            {"prefix_groups": 0},
+        ):
+            with pytest.raises(ValueError):
+                LlmMix(**{**base, **bad})
+
+    def test_long_reasoning_is_decode_heavy(self):
+        # The KV-pressure mix must generate more than it reads.
+        mix = get_mix("long_reasoning")
+        assert mix.output_tokens_mean > mix.prompt_tokens_mean
+
+    def test_rag_is_prefill_heavy(self):
+        mix = get_mix("rag_summarize")
+        assert mix.prompt_tokens_mean > 4 * mix.output_tokens_mean

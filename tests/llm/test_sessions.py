@@ -1,0 +1,170 @@
+"""Session-generator determinism: the properties the docstring pins.
+
+These are the satellite tests for the shared RNG helpers
+(:class:`~repro.sim.rng.LognormalSampler` memoization and seed-split
+independence) under the session generators.
+"""
+
+import pytest
+
+from repro.llm.catalog import get_mix
+from repro.llm.sessions import (
+    MAX_OUTPUT_TOKENS,
+    MAX_PROMPT_TOKENS,
+    MIN_OUTPUT_TOKENS,
+    MIN_PROMPT_TOKENS,
+    SessionGenerator,
+    SessionPlan,
+    Turn,
+)
+from repro.sim.rng import RngStreams, lognormal_sampler
+
+
+def _generator(mix_name="chat", seed=7):
+    return SessionGenerator(get_mix(mix_name), RngStreams(seed))
+
+
+class TestTurnAndPlanValidation:
+    def test_turn_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Turn(prompt_tokens=0, output_tokens=1, prefix_tokens=0)
+        with pytest.raises(ValueError):
+            Turn(prompt_tokens=1, output_tokens=0, prefix_tokens=0)
+
+    def test_turn_prefix_bounds(self):
+        with pytest.raises(ValueError):
+            Turn(prompt_tokens=4, output_tokens=1, prefix_tokens=4)
+        Turn(prompt_tokens=4, output_tokens=1, prefix_tokens=3)
+
+    def test_plan_needs_turns_and_matching_think_times(self):
+        turn = Turn(prompt_tokens=8, output_tokens=8, prefix_tokens=0)
+        with pytest.raises(ValueError):
+            SessionPlan(0, -1, (), ())
+        with pytest.raises(ValueError):
+            SessionPlan(0, -1, (turn,), (0.0, 0.1))
+        plan = SessionPlan(0, -1, (turn, turn), (0.0, 0.1))
+        assert plan.total_prompt_tokens == 16
+        assert plan.total_output_tokens == 16
+
+
+class TestDeterminism:
+    def test_plan_depends_only_on_seed_and_id(self):
+        a = _generator().plan(5)
+        b = _generator().plan(5)
+        assert a == b
+
+    def test_draw_order_independent_of_planning_order(self):
+        # Planning sessions 0..9 in order vs. planning only #7 must
+        # give the identical plan for #7: session streams are disjoint.
+        gen_all = _generator()
+        plans = [gen_all.plan(i) for i in range(10)]
+        gen_one = _generator()
+        assert gen_one.plan(7) == plans[7]
+
+    def test_seed_split_independence_between_sessions(self):
+        # Interleaving draws from two concurrent sessions can't perturb
+        # either: regenerate one of them cold and compare.
+        gen = _generator()
+        a_first = gen.plan(1)
+        _ = gen.plan(2)
+        a_again = _generator().plan(1)
+        assert a_first == a_again
+
+    def test_master_seed_changes_plans(self):
+        assert _generator(seed=7).plan(0) != _generator(seed=8).plan(0)
+
+    def test_batch_size_invariance(self):
+        # Chunked generation (batches of 3) vs. one-by-one: identical.
+        gen = _generator()
+        chunked = []
+        for start in range(0, 9, 3):
+            chunked.extend(gen.plan(i) for i in range(start, start + 3))
+        single = [_generator().plan(i) for i in range(9)]
+        assert chunked == single
+
+
+class TestSamplerMemoization:
+    def test_generator_uses_memoized_samplers(self):
+        mix = get_mix("chat")
+        gen = SessionGenerator(mix, RngStreams(7))
+        assert gen._prompt is lognormal_sampler(
+            mix.prompt_tokens_mean, mix.prompt_tokens_cv
+        )
+        assert gen._output is lognormal_sampler(
+            mix.output_tokens_mean, mix.output_tokens_cv
+        )
+
+
+class TestPrefixGroups:
+    def test_prefix_length_memoized_and_order_free(self):
+        gen_a = _generator()
+        gen_b = _generator()
+        # Touch groups in different orders: lengths agree per group.
+        a = {g: gen_a.prefix_tokens(g) for g in (0, 1, 2, 3)}
+        b = {g: gen_b.prefix_tokens(g) for g in (3, 1, 0, 2)}
+        assert a == b
+        # Memoized: asking again returns the same value.
+        assert gen_a.prefix_tokens(0) == a[0]
+
+    def test_group_members_share_prefix_length(self):
+        gen = _generator()
+        by_group = {}
+        for sid in range(200):
+            plan = gen.plan(sid)
+            if plan.prefix_group < 0:
+                continue
+            for turn in plan.turns:
+                if turn.prefix_tokens >= turn.prompt_tokens - 1:
+                    continue  # clamped by a short prompt
+                by_group.setdefault(plan.prefix_group, set()).add(
+                    turn.prefix_tokens
+                )
+        assert by_group, "chat mix should produce prefix-group sessions"
+        for group, lengths in by_group.items():
+            assert len(lengths) == 1, f"group {group} disagreed: {lengths}"
+
+    def test_prefix_share_zero_means_no_groups(self):
+        gen = _generator("rag_summarize")
+        # Not zero-share, but verify the -1 contract where drawn unique.
+        plans = [gen.plan(i) for i in range(50)]
+        uniques = [p for p in plans if p.prefix_group < 0]
+        assert uniques
+        for plan in uniques:
+            assert all(t.prefix_tokens == 0 for t in plan.turns)
+
+
+class TestPlanShape:
+    @pytest.mark.parametrize(
+        "mix_name", ["chat", "codegen", "rag_summarize", "long_reasoning"]
+    )
+    def test_plans_respect_mix_bounds(self, mix_name):
+        mix = get_mix(mix_name)
+        gen = _generator(mix_name)
+        for sid in range(100):
+            plan = gen.plan(sid)
+            assert mix.min_turns <= len(plan.turns) <= mix.max_turns
+            assert plan.think_times_s[0] == 0.0
+            for turn in plan.turns:
+                assert (
+                    MIN_PROMPT_TOKENS <= turn.prompt_tokens <= MAX_PROMPT_TOKENS
+                )
+                assert (
+                    MIN_OUTPUT_TOKENS <= turn.output_tokens <= MAX_OUTPUT_TOKENS
+                )
+
+    def test_think_times_zero_when_mix_has_none(self):
+        gen = _generator("rag_summarize")
+        for sid in range(50):
+            assert all(t == 0.0 for t in gen.plan(sid).think_times_s)
+
+    def test_chat_multi_turn_sessions_have_think_times(self):
+        gen = _generator("chat")
+        saw_positive = False
+        for sid in range(100):
+            plan = gen.plan(sid)
+            if len(plan.turns) > 1 and any(
+                t > 0 for t in plan.think_times_s[1:]
+            ):
+                saw_positive = True
+                break
+        assert saw_positive

@@ -38,6 +38,9 @@ BENCHMARKS = [
     "sparkbench",
     "videotranscode",
     "storagebench",
+    "llmbench-chat",
+    "llmbench-codegen",
+    "llmbench-long_reasoning",
 ]
 FAULT_SCENARIOS = [
     "brownout",
@@ -87,6 +90,14 @@ def golden_points():
         (
             "storagebench+flaky_network_compaction",
             _make_point("storagebench", faults="flaky_network_compaction"),
+        )
+    )
+    # The SLO control plane against the token-serving workload: pins
+    # turn shedding plus the token-level TTFT/ITL SLO pass-through.
+    cases.append(
+        (
+            "llmbench-chat+overload_shed",
+            _make_point("llmbench-chat", faults="overload_shed"),
         )
     )
     return cases

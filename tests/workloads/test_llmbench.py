@@ -1,0 +1,161 @@
+"""LlmBench: the token-serving workload family end to end."""
+
+import pytest
+
+from repro.core.benchmark import Benchmark
+from repro.core.suite import FLEET_POWER_WEIGHTS
+from repro.llm.engine import EngineParams
+from repro.workloads.base import RunConfig
+from repro.workloads.llmbench import LlmBench
+from repro.workloads.registry import (
+    extension_benchmarks,
+    get_workload,
+    llm_serving_benchmarks,
+)
+from repro.workloads.scenarios import apply_fault_scenario
+
+_FAST = dict(measure_seconds=0.6, warmup_seconds=0.2)
+
+
+class TestRegistration:
+    def test_bare_name_is_chat_alias(self):
+        wl = get_workload("llmbench")
+        assert isinstance(wl, LlmBench)
+        assert wl.mix.name == "chat"
+        assert wl.name == "llmbench"
+
+    @pytest.mark.parametrize(
+        "mix", ["chat", "codegen", "rag_summarize", "long_reasoning"]
+    )
+    def test_every_mix_registered(self, mix):
+        wl = get_workload(f"llmbench-{mix}")
+        assert wl.mix.name == mix
+        assert wl.name == f"llmbench-{mix}"
+
+    def test_scored_mixes_carry_fleet_weight(self):
+        for name in llm_serving_benchmarks():
+            assert name in FLEET_POWER_WEIGHTS
+
+    def test_unscored_mixes_are_extensions(self):
+        ext = extension_benchmarks()
+        assert "llmbench" in ext
+        assert "llmbench-long_reasoning" in ext
+        assert "llmbench-chat" not in ext
+
+    def test_category_and_metric(self):
+        wl = get_workload("llmbench-chat")
+        assert wl.category == "ai-inference"
+        assert wl.metric_name == "turns/s"
+
+
+class TestRun:
+    def test_run_produces_serving_extras(self):
+        result = LlmBench("chat").run(RunConfig(**_FAST))
+        extra = result.extra
+        assert result.throughput_rps > 0
+        assert extra["llm_replicas"] >= 1
+        assert extra["llm_turns_completed"] > 0
+        assert extra["llm_decoded_tokens"] > 0
+        assert extra["llm_tokens_per_second"] > 0
+        assert extra["llm_ttft_p99_s"] > extra["llm_ttft_p50_s"] > 0
+        assert extra["llm_itl_p99_s"] >= extra["llm_itl_p50_s"] > 0
+        assert 0.0 <= extra["llm_prefix_hit_rate"] <= 1.0
+        assert extra["llm_kv_peak_bytes"] <= (
+            extra["llm_kv_budget_bytes"] + extra["llm_kv_overflow_tokens"]
+            * extra["llm_kv_bytes_per_token"]
+        )
+
+    def test_fixed_seed_replay_identical(self):
+        a = LlmBench("chat").run(RunConfig(**_FAST))
+        b = LlmBench("chat").run(RunConfig(**_FAST))
+        assert a.as_dict() == b.as_dict()
+
+    def test_seed_changes_results(self):
+        a = LlmBench("chat").run(RunConfig(**_FAST))
+        b = LlmBench("chat").run(RunConfig(seed=8, **_FAST))
+        assert a.extra["llm_decoded_tokens"] != b.extra["llm_decoded_tokens"]
+
+    def test_mixes_have_distinct_shapes(self):
+        chat = LlmBench("chat").run(RunConfig(**_FAST))
+        rag = LlmBench("rag_summarize").run(RunConfig(**_FAST))
+        # RAG stuffs ~6x the prompt tokens per turn, so its per-turn
+        # throughput lands well below chat's.
+        assert rag.throughput_rps < chat.throughput_rps
+        chat_prefill_per_turn = (
+            chat.extra["llm_prefill_tokens"] / chat.extra["llm_turns_completed"]
+        )
+        rag_prefill_per_turn = (
+            rag.extra["llm_prefill_tokens"] / rag.extra["llm_turns_completed"]
+        )
+        assert rag_prefill_per_turn > 2 * chat_prefill_per_turn
+
+    def test_long_reasoning_pressures_kv(self):
+        result = LlmBench("long_reasoning").run(RunConfig(**_FAST))
+        extra = result.extra
+        budget_tokens = (
+            extra["llm_kv_budget_bytes"] / extra["llm_kv_bytes_per_token"]
+        )
+        assert extra["llm_kv_peak_tokens"] >= 0.9 * budget_tokens
+
+    def test_tiny_kv_budget_queues_and_evicts(self):
+        params = EngineParams(kv_budget_bytes=600.0 * 160_000.0)
+        result = LlmBench("chat", params=params).run(RunConfig(**_FAST))
+        extra = result.extra
+        assert extra["llm_kv_preemptions"] > 0
+        assert extra["llm_kv_admission_blocked"] > 0
+
+    def test_load_scale_moves_throughput(self):
+        low = LlmBench("chat").run(RunConfig(load_scale=0.3, **_FAST))
+        high = LlmBench("chat").run(RunConfig(load_scale=1.0, **_FAST))
+        assert low.throughput_rps < high.throughput_rps
+
+
+class TestSloIntegration:
+    def test_overload_shed_sheds_turns(self):
+        config = apply_fault_scenario(
+            RunConfig(measure_seconds=1.2, warmup_seconds=0.3),
+            "overload_shed",
+        )
+        result = LlmBench("chat").run(config)
+        extra = result.extra
+        assert extra["slo_windows"] >= 1
+        assert extra["slo_shed"] > 0 or extra["slo_drop_probability"] > 0
+        # Token-level SLO signals travel alongside the control plane.
+        assert extra["slo_ttft_p99_s"] > 0
+        assert extra["slo_itl_p99_s"] > 0
+
+    def test_report_slo_section_carries_token_percentiles(self):
+        bench = Benchmark.by_name("llmbench-chat")
+        config = apply_fault_scenario(
+            RunConfig(measure_seconds=1.2, warmup_seconds=0.3),
+            "overload_shed",
+        )
+        report = bench.run(config)
+        section = report.hook_sections["slo_control"]
+        assert section["enabled"]
+        assert section["ttft_p99_ms"] > 0
+        assert section["itl_p99_ms"] > 0
+
+    def test_clean_run_has_no_slo_keys(self):
+        result = LlmBench("chat").run(RunConfig(**_FAST))
+        assert "slo_ttft_p99_s" not in result.extra
+
+
+class TestReport:
+    def test_llm_serving_hook_section(self):
+        report = Benchmark.by_name("llmbench-chat").run(RunConfig(**_FAST))
+        section = report.hook_sections["llm_serving"]
+        assert section["enabled"]
+        assert section["tokens_per_second"] > 0
+        assert section["ttft_p99_ms"] >= section["ttft_p50_ms"] > 0
+        assert 0 <= section["kv_peak_util_pct"] <= 200
+        assert section["turns_completed"] > 0
+
+    def test_non_serving_workload_section_disabled(self):
+        report = Benchmark.by_name("taobench").run(RunConfig(**_FAST))
+        assert report.hook_sections["llm_serving"] == {"enabled": False}
+
+    def test_metric_is_turns_per_second(self):
+        report = Benchmark.by_name("llmbench-chat").run(RunConfig(**_FAST))
+        assert report.metric_name == "turns/s"
+        assert report.metric_value == report.result.throughput_rps

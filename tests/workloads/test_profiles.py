@@ -16,7 +16,7 @@ class TestRegistries:
     def test_all_benchmarks_present(self):
         assert set(BENCHMARK_PROFILES) == {
             "taobench", "feedsim", "djangobench", "mediawiki",
-            "sparkbench", "videotranscode", "storagebench",
+            "sparkbench", "videotranscode", "storagebench", "llmbench",
         }
 
     def test_each_benchmark_has_production_twin(self):

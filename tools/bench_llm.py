@@ -1,0 +1,198 @@
+"""Wall-clock microbenchmarks for the LLM token-serving subsystem.
+
+BENCH_workloads.json times whole points; this tool isolates the layers
+the llmbench family added so a regression can be localized before it
+shows up in the end-to-end number:
+
+* ``sessions`` — deterministic session planning throughput
+  (:class:`~repro.llm.sessions.SessionGenerator`: stream derivation,
+  lognormal draws, prefix-group memoization).
+* ``engine``   — the continuous-batching loop on a single replica
+  (admission, prefill/decode bursts, KV ledger growth) in sequences
+  decoded per wall second.
+* ``llmbench-<mix>`` — one pinned end-to-end point per catalog mix
+  through ``execute_point``, reporting the model-level tokens/s and
+  TTFT p99 alongside the wall time a sweep actually pays.
+
+Writes ``BENCH_llm.json`` with the same before/after layout as the
+other bench files.
+
+Run:
+    PYTHONPATH=src python tools/bench_llm.py [--output BENCH_llm.json]
+    PYTHONPATH=src python tools/bench_llm.py --smoke   # CI sanity pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.exec.executor import execute_point
+from repro.exec.spec import RunPoint
+from repro.llm.catalog import get_mix, mix_names
+from repro.llm.engine import EngineParams, LlmReplica, Sequence
+from repro.llm.sessions import SessionGenerator
+from repro.sim.rng import RngStreams
+from repro.workloads.base import RunConfig
+from repro.workloads.profiles import BENCHMARK_PROFILES
+from repro.workloads.runner import BenchmarkHarness
+
+#: Case sizes for a full run; --smoke divides by 10.
+SESSION_PLANS = 20_000
+ENGINE_SEQUENCES = 400
+
+#: The end-to-end mixes a full run times (smoke keeps just chat).
+E2E_MIXES = ("chat", "codegen", "rag_summarize", "long_reasoning")
+
+
+def bench_sessions(plans: int) -> dict:
+    generator = SessionGenerator(get_mix("chat"), RngStreams(11))
+    start = time.perf_counter()
+    turns = 0
+    for sid in range(plans):
+        turns += len(generator.plan(sid).turns)
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_seconds": elapsed,
+        "ops": plans,
+        "ops_per_sec": plans / elapsed,
+        "turns_planned": turns,
+    }
+
+
+def bench_engine(sequences: int) -> dict:
+    """Single-replica continuous batching at sustained queue pressure."""
+    harness = BenchmarkHarness(RunConfig(), BENCHMARK_PROFILES["llmbench"])
+    replica = LlmReplica(harness, EngineParams())
+    done = [
+        replica.submit(Sequence(i, 96, 48, prefix_group=i % 4, prefix_tokens=32))
+        for i in range(sequences)
+    ]
+
+    def waiter():
+        for event in done:
+            yield event
+        harness.env.stop()
+
+    harness.env.process(waiter())
+    start = time.perf_counter()
+    harness.env.run(until=10_000.0)
+    elapsed = time.perf_counter() - start
+    stats = replica.stats
+    assert stats.completions == sequences, "engine bench did not drain"
+    return {
+        "wall_seconds": elapsed,
+        "ops": sequences,
+        "ops_per_sec": sequences / elapsed,
+        "decoded_tokens": stats.decoded_tokens,
+        "decoded_tokens_per_wall_sec": stats.decoded_tokens / elapsed,
+        "engine_steps": stats.steps,
+    }
+
+
+def bench_end_to_end(mix: str, smoke: bool) -> dict:
+    measure = 0.2 if smoke else 0.5
+    warmup = 0.1 if smoke else 0.2
+    point = RunPoint(
+        benchmark=f"llmbench-{mix}",
+        sku="SKU2",
+        seed=11,
+        measure_seconds=measure,
+        warmup_seconds=warmup,
+        early_stop=False,
+    )
+    start = time.perf_counter()
+    report = execute_point(point)
+    elapsed = time.perf_counter() - start
+    extra = report.result.extra
+    return {
+        "wall_seconds": elapsed,
+        "metric_value": report.metric_value,
+        "model_tokens_per_sec": extra["llm_tokens_per_second"],
+        "ttft_p99_ms": extra["llm_ttft_p99_s"] * 1000.0,
+        "itl_p99_ms": extra["llm_itl_p99_s"] * 1000.0,
+    }
+
+
+def run_benches(smoke: bool, repeat: int) -> dict:
+    divisor = 10 if smoke else 1
+    cases = {
+        "sessions": lambda: bench_sessions(SESSION_PLANS // divisor),
+        "engine": lambda: bench_engine(ENGINE_SEQUENCES // divisor),
+    }
+    for mix in ("chat",) if smoke else E2E_MIXES:
+        cases[f"llmbench-{mix}"] = (
+            lambda mix=mix: bench_end_to_end(mix, smoke)
+        )
+    results = {}
+    for name, fn in cases.items():
+        best = None
+        for _ in range(repeat):
+            sample = fn()
+            key = "ops_per_sec" if "ops_per_sec" in sample else "wall_seconds"
+            better = (
+                best is None
+                or (key == "ops_per_sec" and sample[key] > best[key])
+                or (key == "wall_seconds" and sample[key] < best[key])
+            )
+            if better:
+                best = sample
+        best["repeats"] = repeat
+        results[name] = best
+        if "ops_per_sec" in best:
+            detail = f"{best['ops_per_sec']:12.0f} ops/s"
+        else:
+            detail = (
+                f"{best['wall_seconds']:8.2f}s wall  "
+                f"{best['model_tokens_per_sec']:10.0f} tok/s  "
+                f"ttft p99 {best['ttft_p99_ms']:6.2f}ms"
+            )
+        print(f"{name:24s} {detail}")
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_llm.json")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny op counts, single repeat, no file written (the CI pass)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="samples per case; the best is kept (noise discipline)",
+    )
+    parser.add_argument(
+        "--label", default="after",
+        help="top-level key to store results under (default: after)",
+    )
+    args = parser.parse_args()
+
+    repeat = 1 if args.smoke else max(1, args.repeat)
+    results = run_benches(args.smoke, repeat)
+
+    if args.smoke:
+        assert results["sessions"]["ops_per_sec"] > 0
+        assert results["engine"]["decoded_tokens"] > 0
+        assert results["llmbench-chat"]["metric_value"] > 0
+        assert results["llmbench-chat"]["ttft_p99_ms"] > 0
+        print(f"llm bench smoke ok: {len(results)} cases ran")
+        return 0
+
+    assert set(mix_names()) == set(E2E_MIXES), "catalog drifted; update tool"
+    try:
+        with open(args.output) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = {}
+    payload[args.label] = results
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -233,6 +233,46 @@ print("storagebench smoke ok: disk_degraded replay byte-identical, "
       "cold sweep cached + warm rerun fully served")
 EOF
 
+echo "== llmbench smoke (cross-path byte-identity + cache round-trip) =="
+python - <<'EOF'
+import json
+
+from repro.exec.executor import SweepExecutor, execute_point
+from repro.exec.spec import RunPoint
+
+base = dict(benchmark="llmbench-chat", sku="SKU2", seed=11,
+            measure_seconds=0.5, warmup_seconds=0.2, early_stop=False)
+point = RunPoint(**base)
+
+# A fixed-seed serving run must replay byte-identically in process...
+first = json.dumps(execute_point(point).as_dict(), sort_keys=True)
+replay = json.dumps(execute_point(point).as_dict(), sort_keys=True)
+assert first == replay, "llmbench in-proc replay diverged"
+
+# ...through the warm worker pool...
+warm_ex = SweepExecutor(max_workers=2, use_cache=False, warm_pool=True)
+warm = warm_ex.run(
+    [point, RunPoint(**dict(base, benchmark="llmbench-codegen"))])
+assert warm_ex.last_stats.pool_mode == "warm"
+assert json.dumps(warm[0].as_dict(), sort_keys=True) == first, \
+    "llmbench warm-pool run diverged from in-proc"
+
+# ...and through a cache round-trip (write then fully served).
+cold_ex = SweepExecutor(max_workers=1)
+cold = json.dumps(cold_ex.run([point])[0].as_dict(), sort_keys=True)
+rerun_ex = SweepExecutor(max_workers=1)
+rerun = json.dumps(rerun_ex.run([point])[0].as_dict(), sort_keys=True)
+assert cold == rerun == first, "llmbench cache round-trip changed bytes"
+assert rerun_ex.last_stats.cache_hits == 1 and rerun_ex.last_stats.executed == 0
+
+section = json.loads(first)["hooks"]["llm_serving"]
+assert section["enabled"] and section["tokens_per_second"] > 0
+assert section["ttft_p99_ms"] > 0 and section["turns_completed"] > 0
+print("llmbench smoke ok: byte-identical across in-proc x2, warm pool, "
+      f"cache round-trip; {section['tokens_per_second']:.0f} tok/s, "
+      f"ttft p99 {section['ttft_p99_ms']:.2f}ms")
+EOF
+
 echo "== shard smoke (shards=1 identity + shards=2 cross-path replay) =="
 python - <<'EOF'
 import json
@@ -342,5 +382,8 @@ python -m pytest -x -q tests/test_golden_traces.py
 
 echo "== workload bench smoke (all six benchmarks + fault scenario) =="
 python tools/bench_workloads.py --smoke
+
+echo "== llm bench smoke (sessions + engine + end-to-end chat mix) =="
+python tools/bench_llm.py --smoke
 
 echo "== verify ok =="
